@@ -1,0 +1,95 @@
+// Ablation: vector-index family comparison — exact flat scan vs IVF-Flat
+// (at several nprobe settings) vs HNSW (Lo/Hi), measuring per-probe
+// latency, distance computations, and recall@10 against the exact result.
+// Grounds Table I's qualitative scan-vs-index trade-offs quantitatively
+// and extends the Section VI.E study beyond a single index family.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "cej/index/flat_index.h"
+#include "cej/index/hnsw_index.h"
+#include "cej/index/ivf_index.h"
+#include "cej/workload/generators.h"
+
+namespace {
+
+double RecallAt10(const std::vector<cej::la::ScoredId>& got,
+                  const std::vector<cej::la::ScoredId>& expected) {
+  std::set<uint64_t> truth;
+  for (const auto& e : expected) truth.insert(e.id);
+  size_t hits = 0;
+  for (const auto& g : got) hits += truth.count(g.id);
+  return truth.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace cej;
+  bench::PrintHeader("bench_ablation_index_families",
+                     "Table I quantified (flat vs IVF vs HNSW)");
+
+  const size_t n = bench::Scaled(20000, 1000000);
+  const size_t dim = 100;
+  const size_t num_queries = 100;
+  la::Matrix data = workload::RandomUnitVectors(n, dim, 1);
+  la::Matrix queries = workload::RandomUnitVectors(num_queries, dim, 2);
+
+  index::FlatIndex flat(data.Clone());
+
+  std::printf("# building IVF (nlist=%zu) and HNSW Lo/Hi over %zu "
+              "vectors...\n",
+              static_cast<size_t>(128), n);
+  index::IvfBuildOptions ivf_options;
+  ivf_options.nlist = 128;
+  auto ivf = index::IvfFlatIndex::Build(data.Clone(), ivf_options);
+  auto lo = index::HnswIndex::Build(data.Clone(),
+                                    index::HnswBuildOptions::Lo());
+  auto hi = index::HnswIndex::Build(data.Clone(),
+                                    index::HnswBuildOptions::Hi());
+  CEJ_CHECK(ivf.ok() && lo.ok() && hi.ok());
+  (*lo)->set_ef_search(64);
+  (*hi)->set_ef_search(128);
+
+  // Exact ground truth.
+  std::vector<std::vector<la::ScoredId>> truth(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    truth[q] = flat.SearchTopK(queries.Row(q), 10);
+  }
+
+  auto evaluate = [&](const char* name, const index::VectorIndex& idx) {
+    idx.ResetStats();
+    double recall = 0.0;
+    const double ms = bench::TimeMs([&] {
+      for (size_t q = 0; q < num_queries; ++q) {
+        recall += RecallAt10(idx.SearchTopK(queries.Row(q), 10), truth[q]);
+      }
+    });
+    std::printf("%-16s %14.3f %16.0f %10.3f\n", name, ms / num_queries,
+                static_cast<double>(idx.distance_computations()) /
+                    num_queries,
+                recall / num_queries);
+  };
+
+  std::printf("\n%-16s %14s %16s %10s\n", "index", "ms/probe",
+              "dists/probe", "recall@10");
+  evaluate("flat (exact)", flat);
+  (*ivf)->set_nprobe(1);
+  evaluate("ivf nprobe=1", **ivf);
+  (*ivf)->set_nprobe(8);
+  evaluate("ivf nprobe=8", **ivf);
+  (*ivf)->set_nprobe(32);
+  evaluate("ivf nprobe=32", **ivf);
+  evaluate("hnsw Lo ef=64", **lo);
+  evaluate("hnsw Hi ef=128", **hi);
+  std::printf(
+      "# shape check: recall/latency ladder — flat exact & slowest per "
+      "probe; IVF recall rises with nprobe; HNSW cheapest per probe at "
+      "high recall (why vector DBs default to it).\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 15: "Top-K=1 vector join condition (10k x 1M with filter)" —
+// pre-filtered tensor join vs pre-filtered HNSW probes, k = 1.
+//
+// Expected shape: the scan wins at low selectivity (few survivors to
+// scan); the index pays off from roughly 20-30% selectivity upward —
+// top-1 is the index's best case.
+
+#include "selectivity_sweep_common.h"
+
+int main() {
+  return cej::bench::RunSelectivitySweep(
+      "bench_fig15_topk1_selectivity",
+      "Figure 15 (top-k=1 scan vs probe selectivity sweep)",
+      cej::join::JoinCondition::TopK(1),
+      /*print_minus_filter=*/true);
+}

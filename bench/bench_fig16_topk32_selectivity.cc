@@ -1,0 +1,15 @@
+// Figure 16: "Top-K=32 vector join condition (10k x 1M with filter)" —
+// as Figure 15 but k = 32.
+//
+// Expected shape: wider beams make probes costlier; the crossover moves
+// far right (paper: ~80% for the Lo index, never for Hi).
+
+#include "selectivity_sweep_common.h"
+
+int main() {
+  return cej::bench::RunSelectivitySweep(
+      "bench_fig16_topk32_selectivity",
+      "Figure 16 (top-k=32 scan vs probe selectivity sweep)",
+      cej::join::JoinCondition::TopK(32),
+      /*print_minus_filter=*/true);
+}

@@ -1,0 +1,18 @@
+// Figure 17: "Range vector join condition (10k x 1M with filter)" — the
+// similarity-threshold condition (sim > 0.9). The index was built for
+// top-k retrieval, so range probes run the top-k mechanism (k = 32) and
+// post-filter; the scan evaluates the expression exactly and returns ALL
+// qualifying tuples.
+//
+// Expected shape: index competitiveness collapses to a narrow low-
+// selectivity band; the scan is flexible and faster elsewhere.
+
+#include "selectivity_sweep_common.h"
+
+int main() {
+  return cej::bench::RunSelectivitySweep(
+      "bench_fig17_range_selectivity",
+      "Figure 17 (range condition scan vs probe selectivity sweep)",
+      cej::join::JoinCondition::Threshold(0.9f),
+      /*print_minus_filter=*/false);
+}

@@ -1,0 +1,101 @@
+// Figure 8: "The impact of logical and physical optimization on NLJ
+// formulation. 100-D vectors, 48 threads." — naive (per-pair embedding)
+// vs prefetch E-NLJ, each with and without SIMD, over three size mixes.
+//
+// Expected shape: the naive formulation is orders of magnitude slower and
+// barely benefits from SIMD (the bottleneck is model access, not compute);
+// prefetch + SIMD is the fastest by a further ~2x.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cej/join/nlj_naive.h"
+#include "cej/join/nlj_prefetch.h"
+#include "cej/model/subword_hash_model.h"
+#include "cej/workload/generators.h"
+
+int main() {
+  using namespace cej;
+  bench::PrintHeader("bench_fig8_logical_optimization",
+                     "Figure 8 (naive vs prefetch NLJ x SIMD)");
+
+  struct Case {
+    size_t m, n;
+  };
+  // Paper: 1k x 1k, 10k x 1k, 10k x 10k. Laptop: /4 on each side for the
+  // naive quadratic-model-cost runs to stay in seconds.
+  const std::vector<Case> cases = {
+      {bench::Scaled(250, 1000), bench::Scaled(250, 1000)},
+      {bench::Scaled(2500, 10000), bench::Scaled(250, 1000)},
+      {bench::Scaled(2500, 10000), bench::Scaled(2500, 10000)},
+  };
+
+  model::SubwordHashModel model;  // 100-D, like the paper.
+  const float threshold = 0.95f;
+
+  std::printf("\n%-14s %14s %14s %18s %16s\n", "|R| x |S|", "naive[ms]",
+              "naive+SIMD[ms]", "prefetch[ms]", "prefetch+SIMD[ms]");
+  for (const auto& c : cases) {
+    auto left = workload::RandomStrings(c.m, 5, 10, 1);
+    auto right = workload::RandomStrings(c.n, 5, 10, 2);
+
+    // The naive formulation embeds 2*|R|*|S| times; cap the pair count so
+    // the suite stays minutes-scale (the skipped cell would only make the
+    // gap larger — the paper's 10k x 10k naive run takes 36 s on 48 cores).
+    double naive_scalar_ms = -1.0, naive_simd_ms = -1.0;
+    const bool run_naive =
+        c.m * c.n <= (bench::FullScale() ? 100ull * 1000 * 1000 : 700'000ull);
+    if (run_naive) {
+      join::JoinOptions scalar;
+      scalar.simd = la::SimdMode::kForceScalar;
+      scalar.pool = &bench::Pool();
+      naive_scalar_ms = bench::TimeMs([&] {
+        auto r = join::NaiveNljJoin(left, right, model, threshold, scalar);
+        CEJ_CHECK(r.ok());
+      });
+      join::JoinOptions simd;
+      simd.simd = la::SimdMode::kAuto;
+      simd.pool = &bench::Pool();
+      naive_simd_ms = bench::TimeMs([&] {
+        auto r = join::NaiveNljJoin(left, right, model, threshold, simd);
+        CEJ_CHECK(r.ok());
+      });
+    }
+
+    double prefetch_scalar_ms, prefetch_simd_ms;
+    {
+      join::NljOptions options;
+      options.simd = la::SimdMode::kForceScalar;
+      options.pool = &bench::Pool();
+      prefetch_scalar_ms = bench::TimeMs([&] {
+        auto r = join::PrefetchNljJoin(
+            left, right, model, join::JoinCondition::Threshold(threshold),
+            options);
+        CEJ_CHECK(r.ok());
+      });
+      options.simd = la::SimdMode::kAuto;
+      prefetch_simd_ms = bench::TimeMs([&] {
+        auto r = join::PrefetchNljJoin(
+            left, right, model, join::JoinCondition::Threshold(threshold),
+            options);
+        CEJ_CHECK(r.ok());
+      });
+    }
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu x %zu", c.m, c.n);
+    if (run_naive) {
+      std::printf("%-14s %14.1f %14.1f %18.1f %16.1f\n", label,
+                  naive_scalar_ms, naive_simd_ms, prefetch_scalar_ms,
+                  prefetch_simd_ms);
+    } else {
+      std::printf("%-14s %14s %14s %18.1f %16.1f\n", label, "(skipped)",
+                  "(skipped)", prefetch_scalar_ms, prefetch_simd_ms);
+    }
+  }
+  std::printf(
+      "# shape check: naive >> prefetch (orders of magnitude); SIMD helps "
+      "prefetch ~2x but cannot rescue the naive formulation.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9: "Optimized NLJ scalability with correct logical optimization,
+// 10k x 10k join input relations, 100-D vectors." — execution time vs
+// thread count, SIMD vs NO-SIMD.
+//
+// Expected shape: time falls with threads up to the physical core count
+// (the paper's machine has 24 physical / 48 logical); SIMD is ~5x faster
+// at every thread count. NOTE: this container exposes a single CPU, so the
+// thread sweep shows oversubscription flatness rather than speedup — the
+// SIMD/no-SIMD gap is still the reproduction target.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cej/join/nlj_prefetch.h"
+#include "cej/workload/generators.h"
+
+int main() {
+  using namespace cej;
+  bench::PrintHeader("bench_fig9_scalability",
+                     "Figure 9 (thread scaling, SIMD vs NO-SIMD)");
+
+  const size_t n = bench::Scaled(4000, 10000);
+  const size_t dim = 100;
+  la::Matrix left = workload::RandomUnitVectors(n, dim, 1);
+  la::Matrix right = workload::RandomUnitVectors(n, dim, 2);
+  const auto condition = join::JoinCondition::Threshold(0.95f);
+
+  const int hw = CpuInfo::HardwareThreads();
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) {
+    thread_counts.push_back(hw);
+    thread_counts.push_back(2 * hw);
+  }
+
+  std::printf("\n%8s %14s %14s %10s\n", "threads", "SIMD[ms]",
+              "NO-SIMD[ms]", "speedup");
+  for (int t : thread_counts) {
+    ThreadPool pool(t);
+    join::NljOptions options;
+    options.pool = &pool;
+
+    options.simd = la::SimdMode::kAuto;
+    const double simd_ms = bench::TimeMs([&] {
+      auto r = join::NljJoinMatrices(left, right, condition, options);
+      CEJ_CHECK(r.ok());
+    });
+    options.simd = la::SimdMode::kForceScalar;
+    const double scalar_ms = bench::TimeMs([&] {
+      auto r = join::NljJoinMatrices(left, right, condition, options);
+      CEJ_CHECK(r.ok());
+    });
+    std::printf("%8d %14.1f %14.1f %9.2fx\n", t, simd_ms, scalar_ms,
+                scalar_ms / simd_ms);
+  }
+  std::printf(
+      "# shape check: SIMD consistently faster (paper: ~5.4x average); "
+      "scaling tracks physical cores available.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Online data cleaning & integration (paper Section II.A.2): deduplicate a
+// dirty product catalog against a reference catalog on the fly — no manual
+// rules, no prior cleaning — using a threshold E-join, then decode matches
+// and report precision against the known ground truth.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cej/join/tensor_join.h"
+#include "cej/model/subword_hash_model.h"
+#include "cej/workload/corpus.h"
+
+using namespace cej;
+
+int main() {
+  // A synthetic "vendor feed": every reference product appears under
+  // several dirty spellings (typos, plurals, aliases).
+  workload::CorpusOptions copts;
+  copts.num_families = 40;       // 40 distinct products.
+  copts.variants_per_family = 5; // 5 surface forms each.
+  copts.num_noise_words = 120;   // Unrelated junk entries.
+  copts.seed = 7;
+  workload::Corpus corpus(copts);
+
+  std::vector<std::string> reference, feed;
+  for (size_t f = 0; f < corpus.num_families(); ++f) {
+    reference.push_back(corpus.Family(f)[0]);  // Canonical product name.
+    for (const auto& w : corpus.Family(f)) feed.push_back(w);
+  }
+  auto noise = corpus.SampleWords(100, 0.0, 8);
+  feed.insert(feed.end(), noise.begin(), noise.end());
+
+  auto lexicon = corpus.MakeLexicon();
+  model::SubwordHashOptions mopts;
+  mopts.concept_weight = 0.8f;
+  model::SubwordHashModel model(mopts, &lexicon);
+
+  join::TensorJoinOptions options;
+  auto result = join::TensorJoin(feed, reference, model,
+                                 join::JoinCondition::Threshold(0.6f),
+                                 options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t correct = 0, wrong = 0;
+  for (const auto& p : result->pairs) {
+    const bool truth =
+        corpus.SameFamily(feed[p.left], reference[p.right]) ||
+        feed[p.left] == reference[p.right];
+    (truth ? correct : wrong) += 1;
+  }
+  std::printf("dirty feed entries : %zu\n", feed.size());
+  std::printf("reference products : %zu\n", reference.size());
+  std::printf("matched pairs      : %zu (%zu correct, %zu spurious)\n",
+              result->pairs.size(), correct, wrong);
+  std::printf("model invocations  : %llu (= |feed| + |reference|)\n",
+              static_cast<unsigned long long>(result->stats.model_calls));
+
+  std::printf("\nsample resolutions:\n");
+  size_t shown = 0;
+  for (const auto& p : result->pairs) {
+    if (feed[p.left] == reference[p.right]) continue;  // Skip identities.
+    std::printf("  %-14s -> %-14s (%.3f)\n", feed[p.left].c_str(),
+                reference[p.right].c_str(), p.similarity);
+    if (++shown == 10) break;
+  }
+  return 0;
+}

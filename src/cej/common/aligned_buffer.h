@@ -1,0 +1,98 @@
+// Cache-line / SIMD-register aligned float buffers.
+//
+// All embedding matrices in CEJ are stored in 64-byte-aligned contiguous
+// memory so AVX-512 loads never split cache lines and GEMM tiles start on
+// register boundaries.
+
+#ifndef CEJ_COMMON_ALIGNED_BUFFER_H_
+#define CEJ_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "cej/common/macros.h"
+
+namespace cej {
+
+/// Owning, movable, 64-byte-aligned array of float. Not copyable: embedding
+/// matrices can be large; copies must be explicit via CopyFrom.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  /// Allocates `count` floats, zero-initialized.
+  explicit AlignedBuffer(size_t count) { Resize(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Reallocates to exactly `count` floats, zero-initialized. Existing
+  /// contents are discarded.
+  void Resize(size_t count) {
+    Free();
+    if (count == 0) return;
+    // Round the byte size up to an alignment multiple as required by
+    // aligned_alloc.
+    size_t bytes = (count * sizeof(float) + kAlignment - 1) / kAlignment *
+                   kAlignment;
+    data_ = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+    CEJ_CHECK(data_ != nullptr);
+    std::memset(data_, 0, bytes);
+    size_ = count;
+  }
+
+  /// Deep copy from another buffer (explicit, never implicit).
+  void CopyFrom(const AlignedBuffer& other) {
+    Resize(other.size_);
+    if (other.size_ > 0) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(float));
+    }
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](size_t i) {
+    CEJ_DCHECK(i < size_);
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    CEJ_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cej
+
+#endif  // CEJ_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,64 @@
+#include "cej/common/cpu_info.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace cej {
+namespace {
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // Leaf 7 reports AVX2 (EBX bit 5) and AVX-512F (EBX bit 16).
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    const bool has_avx512f = (ebx & (1u << 16)) != 0;
+    const bool has_avx2 = (ebx & (1u << 5)) != 0;
+#if defined(__AVX512F__)
+    if (has_avx512f) return SimdLevel::kAvx512;
+#endif
+#if defined(__AVX2__)
+    if (has_avx2) return SimdLevel::kAvx2;
+#endif
+    (void)has_avx512f;
+    (void)has_avx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel CpuInfo::MaxSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+int CpuInfo::HardwareThreads() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::string CpuInfo::Describe() {
+  std::string out = SimdLevelName(MaxSimdLevel());
+  out += ", ";
+  out += std::to_string(HardwareThreads());
+  out += " threads";
+  return out;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace cej

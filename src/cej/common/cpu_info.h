@@ -1,0 +1,36 @@
+// Runtime CPU feature detection used to pick SIMD kernels.
+
+#ifndef CEJ_COMMON_CPU_INFO_H_
+#define CEJ_COMMON_CPU_INFO_H_
+
+#include <string>
+
+namespace cej {
+
+/// SIMD instruction-set tiers detected (and compiled) for this binary. The
+/// effective tier is min(compiled tier, runtime CPU support).
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Queries the host CPU and the compile flags of this binary.
+class CpuInfo {
+ public:
+  /// Highest SIMD level usable by this binary on this CPU.
+  static SimdLevel MaxSimdLevel();
+
+  /// Number of hardware threads reported by the OS (>= 1).
+  static int HardwareThreads();
+
+  /// Human-readable description, e.g. "avx512, 48 threads".
+  static std::string Describe();
+};
+
+/// Name for a SimdLevel ("scalar" / "avx2" / "avx512").
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace cej
+
+#endif  // CEJ_COMMON_CPU_INFO_H_

@@ -1,0 +1,40 @@
+// Core assertion and utility macros used across the CEJ library.
+//
+// CEJ uses Status/Result for recoverable errors (see status.h). CEJ_CHECK is
+// reserved for programming errors — invariants that can only fail due to a
+// bug in the caller or in the library itself — and terminates the process.
+
+#ifndef CEJ_COMMON_MACROS_H_
+#define CEJ_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Enabled in all builds:
+// invariant violations in a query engine must never be silently ignored.
+#define CEJ_CHECK(condition)                                               \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CEJ_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Debug-only variant for hot paths where the check itself is measurable.
+#ifdef NDEBUG
+#define CEJ_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define CEJ_DCHECK(condition) CEJ_CHECK(condition)
+#endif
+
+// Marks a class as neither copyable nor movable.
+#define CEJ_DISALLOW_COPY_AND_MOVE(ClassName)      \
+  ClassName(const ClassName&) = delete;            \
+  ClassName& operator=(const ClassName&) = delete; \
+  ClassName(ClassName&&) = delete;                 \
+  ClassName& operator=(ClassName&&) = delete
+
+#endif  // CEJ_COMMON_MACROS_H_

@@ -1,0 +1,58 @@
+#include "cej/common/serde.h"
+
+namespace cej::serde {
+
+Result<Writer> Writer::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::NotFound("serde: cannot open '" + path +
+                            "' for writing");
+  }
+  return Writer(file);
+}
+
+Writer::~Writer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Writer::WriteString(const std::string& s) {
+  return WriteArray(s.data(), s.size());
+}
+
+Status Writer::WriteBytes(const void* data, size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    return Status::Internal("serde: short write");
+  }
+  return Status::OK();
+}
+
+Result<Reader> Reader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("serde: cannot open '" + path +
+                            "' for reading");
+  }
+  return Reader(file);
+}
+
+Reader::~Reader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Reader::ReadString(std::string* out) {
+  std::vector<char> buf;
+  CEJ_RETURN_IF_ERROR(ReadArray(&buf, 1ull << 24));
+  out->assign(buf.begin(), buf.end());
+  return Status::OK();
+}
+
+Status Reader::ReadBytes(void* data, size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (std::fread(data, 1, bytes, file_) != bytes) {
+    return Status::OutOfRange("serde: short read (truncated file?)");
+  }
+  return Status::OK();
+}
+
+}  // namespace cej::serde

@@ -1,0 +1,95 @@
+// Minimal binary (de)serialization helpers: little-endian PODs and length-
+// prefixed arrays over std::FILE. Used to persist embedding matrices and
+// vector indexes so expensive artifacts (trained models, HNSW graphs) are
+// built once and reloaded.
+
+#ifndef CEJ_COMMON_SERDE_H_
+#define CEJ_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+
+namespace cej::serde {
+
+/// RAII FILE handle opened for writing. Fails on open error.
+class Writer {
+ public:
+  static Result<Writer> Open(const std::string& path);
+  ~Writer();
+  Writer(Writer&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  Writer& operator=(Writer&&) = delete;
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  template <typename T>
+  Status WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  Status WriteArray(const T* data, uint64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CEJ_RETURN_IF_ERROR(WritePod(count));
+    return WriteBytes(data, count * sizeof(T));
+  }
+
+  Status WriteString(const std::string& s);
+  Status WriteBytes(const void* data, size_t bytes);
+
+ private:
+  explicit Writer(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+/// RAII FILE handle opened for reading. Fails on open error.
+class Reader {
+ public:
+  static Result<Reader> Open(const std::string& path);
+  ~Reader();
+  Reader(Reader&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  Reader& operator=(Reader&&) = delete;
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  /// Reads a length-prefixed array. `max_count` guards against corrupt
+  /// length fields allocating unbounded memory.
+  template <typename T>
+  Status ReadArray(std::vector<T>* out,
+                   uint64_t max_count = (1ull << 33)) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    CEJ_RETURN_IF_ERROR(ReadPod(&count));
+    if (count > max_count) {
+      return Status::OutOfRange("serde: array length " +
+                                std::to_string(count) + " exceeds bound");
+    }
+    out->resize(count);
+    return ReadBytes(out->data(), count * sizeof(T));
+  }
+
+  Status ReadString(std::string* out);
+  Status ReadBytes(void* data, size_t bytes);
+
+ private:
+  explicit Reader(std::FILE* file) : file_(file) {}
+  std::FILE* file_;
+};
+
+}  // namespace cej::serde
+
+#endif  // CEJ_COMMON_SERDE_H_

@@ -1,0 +1,134 @@
+// Status and Result<T>: exception-free error propagation in the
+// RocksDB/Arrow idiom. All fallible public APIs in CEJ return one of these.
+
+#ifndef CEJ_COMMON_STATUS_H_
+#define CEJ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "cej/common/macros.h"
+
+namespace cej {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight success/error carrier. Ok status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status. Access to the value when
+/// holding an error is a programming bug and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::InvalidArgument(...);`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CEJ_CHECK(!status_.ok());  // Ok must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CEJ_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CEJ_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CEJ_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller: `CEJ_RETURN_IF_ERROR(DoThing());`
+#define CEJ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::cej::Status _cej_status = (expr);      \
+    if (!_cej_status.ok()) return _cej_status; \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, propagating errors:
+/// `CEJ_ASSIGN_OR_RETURN(auto x, MakeX());`
+#define CEJ_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  CEJ_ASSIGN_OR_RETURN_IMPL_(                             \
+      CEJ_STATUS_CONCAT_(_cej_result, __LINE__), lhs, rexpr)
+
+#define CEJ_STATUS_CONCAT_INNER_(a, b) a##b
+#define CEJ_STATUS_CONCAT_(a, b) CEJ_STATUS_CONCAT_INNER_(a, b)
+#define CEJ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace cej
+
+#endif  // CEJ_COMMON_STATUS_H_

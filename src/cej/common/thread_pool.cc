@@ -1,0 +1,101 @@
+#include "cej/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "cej/common/cpu_info.h"
+
+namespace cej {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body,
+                             size_t grain) {
+  ParallelForRange(
+      begin, end,
+      [&body](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::ParallelForRange(
+    size_t begin, size_t end, const std::function<void(size_t, size_t)>& body,
+    size_t min_chunk) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  const size_t num_workers = workers_.size();
+  // Aim for ~4 chunks per worker for load balance, but respect min_chunk.
+  size_t chunk = std::max(min_chunk, n / (4 * num_workers + 1) + 1);
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t chunk_begin = begin + c * chunk;
+    const size_t chunk_end = std::min(end, chunk_begin + chunk);
+    Submit([&body, chunk_begin, chunk_end] { body(chunk_begin, chunk_end); });
+  }
+  Wait();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool(CpuInfo::HardwareThreads());
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace cej

@@ -1,0 +1,70 @@
+// Fixed-size worker pool with a blocking parallel-for, used by the
+// data-parallel join operators (paper Section V.A).
+//
+// The pool is deliberately simple: CEJ operators submit coarse-grained range
+// tasks (tile rows of a GEMM, partitions of an NLJ outer relation), so a
+// single mutex-protected queue is never the bottleneck.
+
+#ifndef CEJ_COMMON_THREAD_POOL_H_
+#define CEJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "cej/common/macros.h"
+
+namespace cej {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  CEJ_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs `body(i)` for every i in [begin, end), partitioned into contiguous
+  /// chunks across the pool, and blocks until all iterations complete.
+  /// `grain` bounds the minimum chunk size to limit scheduling overhead.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body, size_t grain = 1);
+
+  /// Partition-level variant: runs `body(chunk_begin, chunk_end)` over
+  /// contiguous sub-ranges. Preferred for kernels that want to iterate a
+  /// range themselves (e.g. GEMM row tiles).
+  void ParallelForRange(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& body,
+                        size_t min_chunk = 1);
+
+  /// Process-wide shared pool sized to the hardware thread count.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cej
+
+#endif  // CEJ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,41 @@
+#include "cej/index/flat_index.h"
+
+#include <algorithm>
+
+namespace cej::index {
+
+FlatIndex::FlatIndex(la::Matrix vectors, la::SimdMode simd)
+    : vectors_(std::move(vectors)), simd_(simd) {}
+
+std::vector<la::ScoredId> FlatIndex::SearchTopK(
+    const float* query, size_t k, const FilterBitmap* filter) const {
+  if (k == 0 || vectors_.rows() == 0) return {};
+  la::TopKCollector collector(k);
+  const size_t d = vectors_.cols();
+  uint64_t computations = 0;
+  for (size_t r = 0; r < vectors_.rows(); ++r) {
+    if (filter != nullptr && !(*filter)[r]) continue;
+    collector.Push(la::Dot(query, vectors_.Row(r), d, simd_), r);
+    ++computations;
+  }
+  distance_computations_.fetch_add(computations, std::memory_order_relaxed);
+  return collector.TakeSorted();
+}
+
+std::vector<la::ScoredId> FlatIndex::SearchRange(
+    const float* query, float threshold, const FilterBitmap* filter) const {
+  std::vector<la::ScoredId> out;
+  const size_t d = vectors_.cols();
+  uint64_t computations = 0;
+  for (size_t r = 0; r < vectors_.rows(); ++r) {
+    if (filter != nullptr && !(*filter)[r]) continue;
+    const float sim = la::Dot(query, vectors_.Row(r), d, simd_);
+    ++computations;
+    if (sim >= threshold) out.push_back({sim, r});
+  }
+  distance_computations_.fetch_add(computations, std::memory_order_relaxed);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cej::index

@@ -1,0 +1,389 @@
+#include "cej/index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "cej/common/macros.h"
+#include "cej/common/serde.h"
+
+namespace cej::index {
+namespace {
+
+// Thread-local visited-set scratch shared by all searches on this thread.
+// visited[id] == epoch marks `id` as seen in the current search.
+struct VisitedScratch {
+  std::vector<uint32_t> visited;
+  uint32_t epoch = 0;
+};
+
+VisitedScratch& GetScratch(size_t n) {
+  thread_local VisitedScratch scratch;
+  if (scratch.visited.size() < n) scratch.visited.resize(n, 0);
+  ++scratch.epoch;
+  if (scratch.epoch == 0) {  // Wrapped: clear and restart.
+    std::fill(scratch.visited.begin(), scratch.visited.end(), 0);
+    scratch.epoch = 1;
+  }
+  return scratch;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(la::Matrix vectors,
+                                                    HnswBuildOptions options,
+                                                    la::SimdMode simd) {
+  if (vectors.rows() == 0) {
+    return Status::InvalidArgument("hnsw: cannot index an empty matrix");
+  }
+  if (options.m < 2) {
+    return Status::InvalidArgument("hnsw: m must be >= 2");
+  }
+  if (options.ef_construction < options.m) {
+    return Status::InvalidArgument("hnsw: ef_construction must be >= m");
+  }
+  std::unique_ptr<HnswIndex> index(
+      new HnswIndex(std::move(vectors), options, simd));
+  Rng level_rng(options.seed);
+  const uint32_t n = static_cast<uint32_t>(index->vectors_.rows());
+  for (uint32_t node = 0; node < n; ++node) {
+    index->Insert(node, level_rng);
+  }
+  index->ResetStats();  // Construction distance counts are not probe costs.
+  return index;
+}
+
+HnswIndex::HnswIndex(la::Matrix vectors, HnswBuildOptions options,
+                     la::SimdMode simd)
+    : vectors_(std::move(vectors)),
+      options_(options),
+      simd_(simd),
+      level_lambda_(1.0 / std::log(static_cast<double>(options.m))) {
+  links_.resize(vectors_.rows());
+}
+
+float HnswIndex::Similarity(const float* query, uint32_t id) const {
+  distance_computations_.fetch_add(1, std::memory_order_relaxed);
+  return la::Dot(query, vectors_.Row(id), vectors_.cols(), simd_);
+}
+
+uint32_t HnswIndex::GreedyStep(const float* query, uint32_t entry,
+                               size_t level) const {
+  uint32_t current = entry;
+  float current_sim = Similarity(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : links_[current][level]) {
+      const float sim = Similarity(query, neighbor);
+      if (sim > current_sim) {
+        current_sim = sim;
+        current = neighbor;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
+    const float* query, uint32_t entry, size_t ef, size_t level,
+    std::vector<uint32_t>* visited_epoch, uint32_t epoch) const {
+  auto& visited = *visited_epoch;
+
+  // Frontier ordered best-first; results ordered worst-first so the top is
+  // the eviction candidate.
+  auto frontier_less = [](const Candidate& a, const Candidate& b) {
+    return a.sim < b.sim;  // max-heap on sim
+  };
+  auto results_less = [](const Candidate& a, const Candidate& b) {
+    return a.sim > b.sim;  // min-heap on sim
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      decltype(frontier_less)>
+      frontier(frontier_less);
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      decltype(results_less)>
+      results(results_less);
+
+  const float entry_sim = Similarity(query, entry);
+  visited[entry] = epoch;
+  frontier.push({entry_sim, entry});
+  results.push({entry_sim, entry});
+
+  while (!frontier.empty()) {
+    const Candidate best = frontier.top();
+    frontier.pop();
+    if (results.size() >= ef && best.sim < results.top().sim) break;
+    for (uint32_t neighbor : links_[best.id][level]) {
+      if (visited[neighbor] == epoch) continue;
+      visited[neighbor] = epoch;
+      const float sim = Similarity(query, neighbor);
+      if (results.size() < ef || sim > results.top().sim) {
+        frontier.push({sim, neighbor});
+        results.push({sim, neighbor});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    uint32_t node, std::vector<Candidate> candidates, size_t m) const {
+  // Best-first order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.sim > b.sim;
+            });
+  std::vector<uint32_t> selected;
+  selected.reserve(m);
+  if (!options_.select_heuristic) {
+    for (const auto& c : candidates) {
+      if (selected.size() >= m) break;
+      if (c.id != node) selected.push_back(c.id);
+    }
+    return selected;
+  }
+  // Heuristic (Algorithm 4): admit a candidate only if it is closer to the
+  // query node than to every already-selected neighbour — keeps edges
+  // diverse, which preserves graph navigability in clustered data.
+  for (const auto& c : candidates) {
+    if (selected.size() >= m) break;
+    if (c.id == node) continue;
+    bool diverse = true;
+    for (uint32_t s : selected) {
+      const float sim_to_selected =
+          la::Dot(vectors_.Row(c.id), vectors_.Row(s), vectors_.cols(),
+                  simd_);
+      if (sim_to_selected > c.sim) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) selected.push_back(c.id);
+  }
+  // Backfill with skipped candidates if the heuristic was too strict.
+  for (const auto& c : candidates) {
+    if (selected.size() >= m) break;
+    if (c.id == node) continue;
+    if (std::find(selected.begin(), selected.end(), c.id) ==
+        selected.end()) {
+      selected.push_back(c.id);
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::Insert(uint32_t node, Rng& level_rng) {
+  // Exponentially-distributed level (Algorithm 1 line 4).
+  const double u = std::max(level_rng.NextDouble(), 1e-12);
+  const size_t level =
+      static_cast<size_t>(-std::log(u) * level_lambda_);
+  links_[node].resize(level + 1);
+
+  if (node == 0) {
+    entry_point_ = 0;
+    max_level_ = level;
+    return;
+  }
+
+  const float* query = vectors_.Row(node);
+  uint32_t entry = entry_point_;
+
+  // Phase 1: greedy descent through levels above the node's level.
+  for (size_t l = max_level_; l > level && l > 0; --l) {
+    entry = GreedyStep(query, entry, l);
+  }
+
+  // Phase 2: beam search and connect at each level from min(max_level_,
+  // level) down to 0.
+  auto& scratch = GetScratch(vectors_.rows());
+  for (size_t l = std::min(max_level_, level);; --l) {
+    auto candidates = SearchLayer(query, entry, options_.ef_construction, l,
+                                  &scratch.visited, scratch.epoch);
+    // New epoch for the next layer's search.
+    ++scratch.epoch;
+    if (scratch.epoch == 0) {
+      std::fill(scratch.visited.begin(), scratch.visited.end(), 0);
+      scratch.epoch = 1;
+    }
+    // Entry for the next layer down: best candidate found here.
+    float best_sim = -2.0f;
+    for (const auto& c : candidates) {
+      if (c.sim > best_sim) {
+        best_sim = c.sim;
+        entry = c.id;
+      }
+    }
+    auto selected = SelectNeighbors(node, candidates, options_.m);
+    links_[node][l] = selected;
+    // Bidirectional links, shrinking overflowing neighbours with the same
+    // selection rule.
+    const size_t max_degree = MaxDegree(l);
+    for (uint32_t neighbor : selected) {
+      auto& nlinks = links_[neighbor][l];
+      nlinks.push_back(node);
+      if (nlinks.size() > max_degree) {
+        std::vector<Candidate> ncand;
+        ncand.reserve(nlinks.size());
+        for (uint32_t nn : nlinks) {
+          ncand.push_back(
+              {la::Dot(vectors_.Row(neighbor), vectors_.Row(nn),
+                       vectors_.cols(), simd_),
+               nn});
+        }
+        nlinks = SelectNeighbors(neighbor, std::move(ncand), max_degree);
+      }
+    }
+    if (l == 0) break;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+std::vector<la::ScoredId> HnswIndex::SearchTopK(
+    const float* query, size_t k, const FilterBitmap* filter) const {
+  if (k == 0) return {};
+  CEJ_DCHECK(filter == nullptr || filter->size() == size());
+
+  uint32_t entry = entry_point_;
+  for (size_t l = max_level_; l > 0; --l) {
+    entry = GreedyStep(query, entry, l);
+  }
+  auto& scratch = GetScratch(vectors_.rows());
+  const size_t ef = std::max(ef_search_, k);
+  auto candidates =
+      SearchLayer(query, entry, ef, 0, &scratch.visited, scratch.epoch);
+
+  // Pre-filter semantics: inadmissible tuples are dropped from the result
+  // set after the (fully paid) traversal.
+  la::TopKCollector collector(k);
+  for (const auto& c : candidates) {
+    if (filter != nullptr && !(*filter)[c.id]) continue;
+    collector.Push(c.sim, c.id);
+  }
+  return collector.TakeSorted();
+}
+
+std::vector<la::ScoredId> HnswIndex::SearchRange(
+    const float* query, float threshold, const FilterBitmap* filter) const {
+  // Top-k mechanism with post-filtering on the threshold (see header).
+  auto top = SearchTopK(query, std::max(range_probe_k_, size_t{1}), filter);
+  std::vector<la::ScoredId> out;
+  for (const auto& c : top) {
+    if (c.score >= threshold) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+constexpr uint32_t kHnswMagic = 0x484a4543;  // "CEJH"
+constexpr uint32_t kHnswVersion = 1;
+}  // namespace
+
+Status HnswIndex::Save(const std::string& path) const {
+  CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kHnswMagic));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kHnswVersion));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(options_.m));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(options_.ef_construction));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(options_.seed));
+  CEJ_RETURN_IF_ERROR(
+      writer.WritePod<uint8_t>(options_.select_heuristic ? 1 : 0));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint32_t>(entry_point_));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(max_level_));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(vectors_.rows()));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(vectors_.cols()));
+  CEJ_RETURN_IF_ERROR(
+      writer.WriteBytes(vectors_.data(), vectors_.size() * sizeof(float)));
+  for (const auto& node_links : links_) {
+    CEJ_RETURN_IF_ERROR(
+        writer.WritePod<uint64_t>(node_links.size()));
+    for (const auto& level_links : node_links) {
+      CEJ_RETURN_IF_ERROR(
+          writer.WriteArray(level_links.data(), level_links.size()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(const std::string& path,
+                                                   la::SimdMode simd) {
+  CEJ_ASSIGN_OR_RETURN(serde::Reader reader, serde::Reader::Open(path));
+  uint32_t magic = 0, version = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&magic));
+  if (magic != kHnswMagic) {
+    return Status::InvalidArgument("hnsw load: bad magic in '" + path +
+                                   "'");
+  }
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&version));
+  if (version != kHnswVersion) {
+    return Status::InvalidArgument("hnsw load: unsupported version");
+  }
+  HnswBuildOptions options;
+  uint64_t m = 0, efc = 0, seed = 0;
+  uint8_t heuristic = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&m));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&efc));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&seed));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&heuristic));
+  options.m = m;
+  options.ef_construction = efc;
+  options.seed = seed;
+  options.select_heuristic = heuristic != 0;
+
+  uint32_t entry_point = 0;
+  uint64_t max_level = 0, rows = 0, cols = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&entry_point));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&max_level));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&rows));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&cols));
+  if (rows == 0 || cols == 0 || rows * cols > (1ull << 33)) {
+    return Status::OutOfRange("hnsw load: implausible shape");
+  }
+  la::Matrix vectors(rows, cols);
+  CEJ_RETURN_IF_ERROR(
+      reader.ReadBytes(vectors.data(), vectors.size() * sizeof(float)));
+
+  std::unique_ptr<HnswIndex> index(
+      new HnswIndex(std::move(vectors), options, simd));
+  index->entry_point_ = entry_point;
+  index->max_level_ = max_level;
+  for (auto& node_links : index->links_) {
+    uint64_t levels = 0;
+    CEJ_RETURN_IF_ERROR(reader.ReadPod(&levels));
+    if (levels > 64) {
+      return Status::OutOfRange("hnsw load: implausible level count");
+    }
+    node_links.resize(levels);
+    for (auto& level_links : node_links) {
+      CEJ_RETURN_IF_ERROR(reader.ReadArray(&level_links, rows));
+      for (uint32_t neighbor : level_links) {
+        if (neighbor >= rows) {
+          return Status::OutOfRange("hnsw load: neighbour id out of range");
+        }
+      }
+    }
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& HnswIndex::NeighborsAt(uint32_t node,
+                                                    size_t level) const {
+  CEJ_CHECK(node < links_.size());
+  CEJ_CHECK(level < links_[node].size());
+  return links_[node][level];
+}
+
+}  // namespace cej::index

@@ -1,0 +1,101 @@
+#include "cej/index/ivf_index.h"
+
+#include <algorithm>
+
+#include "cej/common/macros.h"
+#include "cej/la/topk.h"
+
+namespace cej::index {
+
+Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::Build(
+    la::Matrix vectors, IvfBuildOptions options, la::SimdMode simd) {
+  if (vectors.rows() == 0) {
+    return Status::InvalidArgument("ivf: cannot index an empty matrix");
+  }
+  if (options.nlist == 0) {
+    return Status::InvalidArgument("ivf: nlist must be > 0");
+  }
+  KMeansOptions kopts;
+  kopts.clusters = options.nlist;
+  kopts.max_iters = options.train_iters;
+  kopts.seed = options.seed;
+  kopts.simd = simd;
+  CEJ_ASSIGN_OR_RETURN(KMeansResult trained,
+                       SphericalKMeans(vectors, kopts));
+  std::vector<std::vector<uint32_t>> lists(trained.centroids.rows());
+  for (uint32_t r = 0; r < vectors.rows(); ++r) {
+    lists[trained.assignment[r]].push_back(r);
+  }
+  return std::unique_ptr<IvfFlatIndex>(
+      new IvfFlatIndex(std::move(vectors), std::move(trained.centroids),
+                       std::move(lists), simd));
+}
+
+IvfFlatIndex::IvfFlatIndex(la::Matrix vectors, la::Matrix centroids,
+                           std::vector<std::vector<uint32_t>> lists,
+                           la::SimdMode simd)
+    : vectors_(std::move(vectors)),
+      centroids_(std::move(centroids)),
+      lists_(std::move(lists)),
+      simd_(simd) {}
+
+std::vector<uint32_t> IvfFlatIndex::ClosestLists(const float* query) const {
+  const size_t nprobe = std::min(std::max<size_t>(nprobe_, 1),
+                                 centroids_.rows());
+  la::TopKCollector collector(nprobe);
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    collector.Push(
+        la::Dot(query, centroids_.Row(c), centroids_.cols(), simd_), c);
+  }
+  distance_computations_.fetch_add(centroids_.rows(),
+                                   std::memory_order_relaxed);
+  std::vector<uint32_t> out;
+  for (const auto& scored : collector.TakeSorted()) {
+    out.push_back(static_cast<uint32_t>(scored.id));
+  }
+  return out;
+}
+
+std::vector<la::ScoredId> IvfFlatIndex::SearchTopK(
+    const float* query, size_t k, const FilterBitmap* filter) const {
+  if (k == 0) return {};
+  CEJ_DCHECK(filter == nullptr || filter->size() == size());
+  la::TopKCollector collector(k);
+  uint64_t computations = 0;
+  for (uint32_t c : ClosestLists(query)) {
+    for (uint32_t id : lists_[c]) {
+      // Pre-filter semantics: the list entry's distance is still computed
+      // and paid before the admissibility check drops it.
+      const float sim =
+          la::Dot(query, vectors_.Row(id), vectors_.cols(), simd_);
+      ++computations;
+      if (filter != nullptr && !(*filter)[id]) continue;
+      collector.Push(sim, id);
+    }
+  }
+  distance_computations_.fetch_add(computations,
+                                   std::memory_order_relaxed);
+  return collector.TakeSorted();
+}
+
+std::vector<la::ScoredId> IvfFlatIndex::SearchRange(
+    const float* query, float threshold, const FilterBitmap* filter) const {
+  CEJ_DCHECK(filter == nullptr || filter->size() == size());
+  std::vector<la::ScoredId> out;
+  uint64_t computations = 0;
+  for (uint32_t c : ClosestLists(query)) {
+    for (uint32_t id : lists_[c]) {
+      const float sim =
+          la::Dot(query, vectors_.Row(id), vectors_.cols(), simd_);
+      ++computations;
+      if (filter != nullptr && !(*filter)[id]) continue;
+      if (sim >= threshold) out.push_back({sim, id});
+    }
+  }
+  distance_computations_.fetch_add(computations,
+                                   std::memory_order_relaxed);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cej::index

@@ -1,0 +1,42 @@
+// Spherical k-means: the coarse quantizer substrate for the IVF index.
+//
+// Operates on unit vectors with cosine (inner-product) assignment;
+// centroids are re-normalized every iteration, which is the standard
+// spherical-k-means update and keeps assignment consistent with the
+// index's search metric.
+
+#ifndef CEJ_INDEX_KMEANS_H_
+#define CEJ_INDEX_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/la/matrix.h"
+#include "cej/la/simd.h"
+
+namespace cej::index {
+
+/// K-means configuration.
+struct KMeansOptions {
+  size_t clusters = 64;
+  size_t max_iters = 10;
+  uint64_t seed = 5;
+  la::SimdMode simd = la::SimdMode::kAuto;
+};
+
+/// Result: centroid matrix (clusters x dim, unit rows) and per-row
+/// assignment.
+struct KMeansResult {
+  la::Matrix centroids;
+  std::vector<uint32_t> assignment;
+};
+
+/// Runs spherical k-means over `data` (unit vector per row). `clusters`
+/// is clamped to data.rows(). Fails on empty input or clusters == 0.
+Result<KMeansResult> SphericalKMeans(const la::Matrix& data,
+                                     const KMeansOptions& options);
+
+}  // namespace cej::index
+
+#endif  // CEJ_INDEX_KMEANS_H_

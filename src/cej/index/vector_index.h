@@ -1,0 +1,54 @@
+// Vector index abstraction (paper Section IV.B, Table I).
+//
+// Indexes operate over unit vectors with inner-product ("cosine")
+// similarity: higher is more similar. Both probe flavours accept an
+// optional *pre-filter* bitmap over ids — the Milvus-style semantics the
+// paper evaluates: excluded tuples never enter the result set, but the
+// traversal cost is still paid (Section IV.B: "while still incurring the
+// traversal cost").
+
+#ifndef CEJ_INDEX_VECTOR_INDEX_H_
+#define CEJ_INDEX_VECTOR_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cej/la/topk.h"
+
+namespace cej::index {
+
+/// Id-admissibility bitmap: ids[i] admissible iff bitmap[i] != 0.
+using FilterBitmap = std::vector<uint8_t>;
+
+/// Abstract similarity index over a fixed set of unit vectors.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Embedding dimensionality.
+  virtual size_t dim() const = 0;
+  /// Number of indexed vectors.
+  virtual size_t size() const = 0;
+
+  /// Returns up to `k` most similar admissible entries, best-first.
+  /// `filter`, when non-null, must have size() entries.
+  virtual std::vector<la::ScoredId> SearchTopK(
+      const float* query, size_t k,
+      const FilterBitmap* filter = nullptr) const = 0;
+
+  /// Returns all admissible entries with similarity >= threshold,
+  /// best-first. Approximate indexes may miss entries (recall < 1).
+  virtual std::vector<la::ScoredId> SearchRange(
+      const float* query, float threshold,
+      const FilterBitmap* filter = nullptr) const = 0;
+
+  /// Number of similarity computations performed since ResetStats. Probe
+  /// cost accounting for the cost model (I_probe calibration).
+  virtual uint64_t distance_computations() const = 0;
+  virtual void ResetStats() const = 0;
+};
+
+}  // namespace cej::index
+
+#endif  // CEJ_INDEX_VECTOR_INDEX_H_

@@ -1,0 +1,103 @@
+#include "cej/join/e_selection.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "cej/common/timer.h"
+
+namespace cej::join {
+
+Result<SelectionResult> ESelect(const la::Matrix& data, const float* query,
+                                const JoinCondition& condition,
+                                const JoinOptions& options) {
+  if (data.cols() == 0) {
+    return Status::InvalidArgument("E-selection: zero-dimensional data");
+  }
+  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
+    return Status::InvalidArgument("E-selection: top-k with k == 0");
+  }
+  SelectionResult result;
+  WallTimer timer;
+  const size_t dim = data.cols();
+
+  if (condition.kind == JoinCondition::Kind::kThreshold) {
+    std::mutex merge_mu;
+    auto scan_rows = [&](size_t begin, size_t end) {
+      std::vector<la::ScoredId> local;
+      for (size_t r = begin; r < end; ++r) {
+        const float sim = la::Dot(query, data.Row(r), dim, options.simd);
+        if (sim >= condition.threshold) {
+          local.push_back({sim, static_cast<uint64_t>(r)});
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      result.matches.insert(result.matches.end(), local.begin(),
+                            local.end());
+    };
+    if (options.pool != nullptr && data.rows() > 1024) {
+      options.pool->ParallelForRange(0, data.rows(), scan_rows);
+    } else {
+      scan_rows(0, data.rows());
+    }
+    std::sort(result.matches.begin(), result.matches.end());
+  } else {
+    la::TopKCollector collector(condition.k);
+    for (size_t r = 0; r < data.rows(); ++r) {
+      collector.Push(la::Dot(query, data.Row(r), dim, options.simd), r);
+    }
+    result.matches = collector.TakeSorted();
+  }
+
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations = data.rows();
+  return result;
+}
+
+Result<SelectionResult> ESelectStrings(const std::vector<std::string>& rows,
+                                       const std::string& query,
+                                       const model::EmbeddingModel& model,
+                                       const JoinCondition& condition,
+                                       const JoinOptions& options) {
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("E-selection: model has dim 0");
+  }
+  const uint64_t model_calls_before = model.embed_calls();
+  WallTimer embed_timer;
+  la::Matrix embedded = model.EmbedBatch(rows);
+  std::vector<float> query_vec = model.EmbedToVector(query);
+  const double embed_seconds = embed_timer.ElapsedSeconds();
+
+  CEJ_ASSIGN_OR_RETURN(
+      SelectionResult result,
+      ESelect(embedded, query_vec.data(), condition, options));
+  result.stats.embed_seconds = embed_seconds;
+  result.stats.model_calls = model.embed_calls() - model_calls_before;
+  return result;
+}
+
+Result<SelectionResult> ESelectIndex(const index::VectorIndex& index,
+                                     const float* query,
+                                     const JoinCondition& condition,
+                                     const index::FilterBitmap* filter) {
+  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
+    return Status::InvalidArgument("E-selection: top-k with k == 0");
+  }
+  if (filter != nullptr && filter->size() != index.size()) {
+    return Status::InvalidArgument(
+        "E-selection: filter bitmap size mismatch");
+  }
+  SelectionResult result;
+  WallTimer timer;
+  const uint64_t computations_before = index.distance_computations();
+  if (condition.kind == JoinCondition::Kind::kTopK) {
+    result.matches = index.SearchTopK(query, condition.k, filter);
+  } else {
+    result.matches = index.SearchRange(query, condition.threshold, filter);
+  }
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations =
+      index.distance_computations() - computations_before;
+  return result;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,56 @@
+// Context-enhanced selection (paper Section III.C, "E-Selection"):
+//   sigma_{E,mu,theta}(R)  <=>  sigma_theta(E_mu(R))
+// selects the tuples of one relation whose embedded key satisfies a
+// similarity condition against a single query — the building block of
+// semantic search, and the one-query special case of the E-join ("a search
+// query takes a single query as an input; batching many search queries
+// would be equivalent to a join", Section II.A.3).
+//
+// Cost model: |R| * (A + M + C) when embedding online (Eq. E-Selection
+// Cost); the vector-domain variants drop the M term.
+
+#ifndef CEJ_JOIN_E_SELECTION_H_
+#define CEJ_JOIN_E_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/index/vector_index.h"
+#include "cej/join/join_common.h"
+#include "cej/la/topk.h"
+#include "cej/model/embedding_model.h"
+
+namespace cej::join {
+
+/// Matching tuples of an E-selection, best-first, plus counters.
+struct SelectionResult {
+  std::vector<la::ScoredId> matches;
+  JoinStats stats;
+};
+
+/// Vector-domain E-selection: scans `data` (one unit vector per row) for
+/// rows satisfying `condition` against `query` (dim = data.cols()).
+Result<SelectionResult> ESelect(const la::Matrix& data, const float* query,
+                                const JoinCondition& condition,
+                                const JoinOptions& options = {});
+
+/// String-domain E-selection: embeds every input row and the query with
+/// `model`, then selects. Pays |R| + 1 model calls.
+Result<SelectionResult> ESelectStrings(const std::vector<std::string>& rows,
+                                       const std::string& query,
+                                       const model::EmbeddingModel& model,
+                                       const JoinCondition& condition,
+                                       const JoinOptions& options = {});
+
+/// Index-backed E-selection: probes `index` instead of scanning. Subject
+/// to the index's approximation and top-k retrieval mechanism.
+Result<SelectionResult> ESelectIndex(const index::VectorIndex& index,
+                                     const float* query,
+                                     const JoinCondition& condition,
+                                     const index::FilterBitmap* filter =
+                                         nullptr);
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_E_SELECTION_H_

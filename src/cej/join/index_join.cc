@@ -1,0 +1,74 @@
+#include "cej/join/index_join.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "cej/common/timer.h"
+
+namespace cej::join {
+
+Result<JoinResult> IndexJoin(const la::Matrix& left,
+                             const index::VectorIndex& right_index,
+                             const JoinCondition& condition,
+                             const IndexJoinOptions& options) {
+  if (left.cols() != right_index.dim()) {
+    return Status::InvalidArgument(
+        "index join: query dim " + std::to_string(left.cols()) +
+        " != index dim " + std::to_string(right_index.dim()));
+  }
+  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
+    return Status::InvalidArgument("index join: top-k with k == 0");
+  }
+  if (options.filter != nullptr &&
+      options.filter->size() != right_index.size()) {
+    return Status::InvalidArgument(
+        "index join: filter bitmap size mismatch");
+  }
+
+  JoinResult result;
+  WallTimer timer;
+  const uint64_t probes_before = right_index.distance_computations();
+  std::mutex merge_mu;
+
+  auto probe_rows = [&](size_t row_begin, size_t row_end) {
+    std::vector<JoinPair> local;
+    for (size_t i = row_begin; i < row_end; ++i) {
+      std::vector<la::ScoredId> matches;
+      if (condition.kind == JoinCondition::Kind::kTopK) {
+        matches = right_index.SearchTopK(left.Row(i), condition.k,
+                                         options.filter);
+      } else {
+        matches = right_index.SearchRange(left.Row(i), condition.threshold,
+                                          options.filter);
+      }
+      for (const auto& scored : matches) {
+        local.push_back({static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(scored.id), scored.score});
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+  };
+
+  if (options.pool != nullptr && left.rows() > 1) {
+    // Respect the concurrent-probe cap by processing the outer relation in
+    // waves of at most max_batched_probes queries.
+    const size_t wave = options.max_batched_probes == 0
+                            ? left.rows()
+                            : options.max_batched_probes;
+    for (size_t begin = 0; begin < left.rows(); begin += wave) {
+      const size_t end = std::min(left.rows(), begin + wave);
+      options.pool->ParallelForRange(begin, end, probe_rows);
+    }
+  } else {
+    probe_rows(0, left.rows());
+  }
+
+  SortPairs(&result.pairs);
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations =
+      right_index.distance_computations() - probes_before;
+  return result;
+}
+
+}  // namespace cej::join

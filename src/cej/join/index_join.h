@@ -1,0 +1,39 @@
+// Index-based E-join (paper Section IV.B, Eq. "E-Index Join Cost"):
+// each left tuple probes a vector index built over the right relation.
+// Probes are batched across the worker pool — "batching many search queries
+// [is] equivalent to a join operation for better use of the available
+// parallelism" (Section II.A.3). Supports the Milvus-style relational
+// pre-filter bitmap the selectivity experiments (Figures 15-17) sweep.
+
+#ifndef CEJ_JOIN_INDEX_JOIN_H_
+#define CEJ_JOIN_INDEX_JOIN_H_
+
+#include "cej/common/status.h"
+#include "cej/index/vector_index.h"
+#include "cej/join/join_common.h"
+
+namespace cej::join {
+
+/// Options for the index join.
+struct IndexJoinOptions : JoinOptions {
+  /// Admissibility bitmap over the indexed (right) relation, or nullptr.
+  /// Entries failing the bitmap never reach the result set, but the
+  /// traversal cost is still paid (pre-filtering semantics).
+  const index::FilterBitmap* filter = nullptr;
+  /// Cap on concurrently batched probes (the paper limits concurrent index
+  /// probing to 10k); 0 = no cap beyond pool size.
+  size_t max_batched_probes = 10000;
+};
+
+/// Probes `right_index` once per left row. Top-k conditions map to index
+/// top-k probes; threshold conditions map to range probes (which, on HNSW,
+/// use the top-k mechanism with post-filtering — the paper's Figure 17
+/// configuration).
+Result<JoinResult> IndexJoin(const la::Matrix& left,
+                             const index::VectorIndex& right_index,
+                             const JoinCondition& condition,
+                             const IndexJoinOptions& options = {});
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_INDEX_JOIN_H_

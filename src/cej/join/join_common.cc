@@ -1,0 +1,28 @@
+#include "cej/join/join_common.h"
+
+#include <algorithm>
+
+namespace cej::join {
+
+void SortPairs(std::vector<JoinPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const JoinPair& a, const JoinPair& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+}
+
+Status ValidateJoinInputs(const la::Matrix& left, const la::Matrix& right) {
+  if (left.cols() == 0 || right.cols() == 0) {
+    return Status::InvalidArgument("E-join: zero-dimensional embeddings");
+  }
+  if (left.cols() != right.cols()) {
+    return Status::InvalidArgument(
+        "E-join: embedding dimensionality mismatch (" +
+        std::to_string(left.cols()) + " vs " + std::to_string(right.cols()) +
+        "); both sides must use the same model mu");
+  }
+  return Status::OK();
+}
+
+}  // namespace cej::join

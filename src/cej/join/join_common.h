@@ -1,0 +1,100 @@
+// Shared types for the context-enhanced join operators (paper Section III).
+//
+// An E-join R ⋈_{E,mu,theta} S matches tuple pairs whose *embedded*
+// join-key similarity satisfies a condition theta: either a similarity
+// threshold (range join) or per-left-tuple top-k. Four physical operators
+// implement it:
+//
+//   NaiveNljJoin     embeds inside the pair loop  — |R|·|S| model calls
+//   PrefetchNljJoin  embeds once, then NLJ        — |R|+|S| model calls
+//   TensorJoin       blocked GEMM formulation     — Figure 6/7
+//   IndexJoin        per-tuple index probes       — Section IV.B
+//
+// All four return identical pairs on exact paths (the index path is
+// approximate); tests cross-validate them.
+
+#ifndef CEJ_JOIN_JOIN_COMMON_H_
+#define CEJ_JOIN_JOIN_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
+#include "cej/la/matrix.h"
+#include "cej/la/simd.h"
+
+namespace cej::join {
+
+/// One matched tuple pair with its similarity.
+struct JoinPair {
+  uint32_t left;
+  uint32_t right;
+  float similarity;
+
+  friend bool operator==(const JoinPair& a, const JoinPair& b) {
+    return a.left == b.left && a.right == b.right &&
+           a.similarity == b.similarity;
+  }
+};
+
+/// The join condition theta over embedded keys.
+struct JoinCondition {
+  enum class Kind {
+    kThreshold,  ///< match iff cosine >= threshold (range join, Fig 17)
+    kTopK,       ///< match each left tuple's k most similar (Figs 15/16)
+  };
+
+  Kind kind = Kind::kThreshold;
+  float threshold = 0.9f;
+  size_t k = 1;
+
+  static JoinCondition Threshold(float t) {
+    JoinCondition c;
+    c.kind = Kind::kThreshold;
+    c.threshold = t;
+    return c;
+  }
+  static JoinCondition TopK(size_t k) {
+    JoinCondition c;
+    c.kind = Kind::kTopK;
+    c.k = k;
+    c.threshold = -std::numeric_limits<float>::infinity();
+    return c;
+  }
+};
+
+/// Execution counters shared by all operators.
+struct JoinStats {
+  uint64_t model_calls = 0;          ///< Embedding invocations.
+  uint64_t similarity_computations = 0;  ///< Pairwise similarity evals.
+  size_t peak_buffer_bytes = 0;      ///< Largest intermediate buffer.
+  double embed_seconds = 0.0;        ///< Time spent in the model.
+  double join_seconds = 0.0;         ///< Time spent matching vectors.
+};
+
+/// Result pairs plus counters. Pairs are sorted by (left, right).
+struct JoinResult {
+  std::vector<JoinPair> pairs;
+  JoinStats stats;
+};
+
+/// Canonical (left, right) ordering used by every operator before
+/// returning, making results directly comparable.
+void SortPairs(std::vector<JoinPair>* pairs);
+
+/// Common execution knobs.
+struct JoinOptions {
+  la::SimdMode simd = la::SimdMode::kAuto;
+  /// Worker pool; nullptr = single-threaded on the caller.
+  ThreadPool* pool = nullptr;
+};
+
+/// Validates that two embedding batches are joinable (same non-zero dim).
+Status ValidateJoinInputs(const la::Matrix& left, const la::Matrix& right);
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_JOIN_COMMON_H_

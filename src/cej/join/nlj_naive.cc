@@ -1,0 +1,60 @@
+#include "cej/join/nlj_naive.h"
+
+#include <mutex>
+
+#include "cej/common/timer.h"
+#include "cej/la/simd.h"
+
+namespace cej::join {
+
+Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
+                                const std::vector<std::string>& right,
+                                const model::EmbeddingModel& model,
+                                float threshold,
+                                const JoinOptions& options) {
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("naive NLJ: model has dim 0");
+  }
+  JoinResult result;
+  const size_t dim = model.dim();
+  const uint64_t model_calls_before = model.embed_calls();
+  WallTimer timer;
+
+  std::mutex merge_mu;
+  auto run_rows = [&](size_t row_begin, size_t row_end) {
+    std::vector<float> left_vec(dim);
+    std::vector<float> right_vec(dim);
+    std::vector<JoinPair> local;
+    for (size_t i = row_begin; i < row_end; ++i) {
+      for (size_t j = 0; j < right.size(); ++j) {
+        // The defining inefficiency: both operands are re-embedded for
+        // every pair, as an imperative user integration would do.
+        model.Embed(left[i], left_vec.data());
+        model.Embed(right[j], right_vec.data());
+        const float sim = la::Dot(left_vec.data(), right_vec.data(), dim,
+                                  options.simd);
+        if (sim >= threshold) {
+          local.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j), sim});
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->ParallelForRange(0, left.size(), run_rows);
+  } else {
+    run_rows(0, left.size());
+  }
+
+  SortPairs(&result.pairs);
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.model_calls = model.embed_calls() - model_calls_before;
+  result.stats.similarity_computations =
+      static_cast<uint64_t>(left.size()) * right.size();
+  return result;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,133 @@
+#include "cej/join/nlj_prefetch.h"
+
+#include <mutex>
+
+#include "cej/common/timer.h"
+#include "cej/la/topk.h"
+
+namespace cej::join {
+namespace {
+
+// Threshold NLJ over matrices with the requested loop order. Parallelism is
+// over the outer relation; each worker emits into a local buffer merged
+// under a mutex, then pairs are canonically sorted.
+void ThresholdNlj(const la::Matrix& outer, const la::Matrix& inner,
+                  float threshold, bool swapped, const NljOptions& options,
+                  std::vector<JoinPair>* pairs) {
+  const size_t dim = outer.cols();
+  std::mutex merge_mu;
+  auto run_rows = [&](size_t row_begin, size_t row_end) {
+    std::vector<JoinPair> local;
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* outer_vec = outer.Row(i);
+      for (size_t j = 0; j < inner.rows(); ++j) {
+        const float sim =
+            la::Dot(outer_vec, inner.Row(j), dim, options.simd);
+        if (sim >= threshold) {
+          const uint32_t l = static_cast<uint32_t>(swapped ? j : i);
+          const uint32_t r = static_cast<uint32_t>(swapped ? i : j);
+          local.push_back({l, r, sim});
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    pairs->insert(pairs->end(), local.begin(), local.end());
+  };
+  if (options.pool != nullptr) {
+    options.pool->ParallelForRange(0, outer.rows(), run_rows);
+  } else {
+    run_rows(0, outer.rows());
+  }
+}
+
+// Top-k per left row. Parallelism over left rows: each row's collector is
+// owned by exactly one worker, so no synchronization beyond result merge.
+void TopKNlj(const la::Matrix& left, const la::Matrix& right, size_t k,
+             const NljOptions& options, std::vector<JoinPair>* pairs) {
+  const size_t dim = left.cols();
+  std::mutex merge_mu;
+  auto run_rows = [&](size_t row_begin, size_t row_end) {
+    std::vector<JoinPair> local;
+    for (size_t i = row_begin; i < row_end; ++i) {
+      la::TopKCollector collector(k);
+      const float* left_vec = left.Row(i);
+      for (size_t j = 0; j < right.rows(); ++j) {
+        collector.Push(la::Dot(left_vec, right.Row(j), dim, options.simd),
+                       j);
+      }
+      for (const auto& scored : collector.TakeSorted()) {
+        local.push_back({static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(scored.id), scored.score});
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    pairs->insert(pairs->end(), local.begin(), local.end());
+  };
+  if (options.pool != nullptr) {
+    options.pool->ParallelForRange(0, left.rows(), run_rows);
+  } else {
+    run_rows(0, left.rows());
+  }
+}
+
+}  // namespace
+
+Result<JoinResult> NljJoinMatrices(const la::Matrix& left,
+                                   const la::Matrix& right,
+                                   const JoinCondition& condition,
+                                   const NljOptions& options) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
+  JoinResult result;
+  WallTimer timer;
+  switch (condition.kind) {
+    case JoinCondition::Kind::kThreshold: {
+      // Loop-order heuristic applies to the symmetric threshold condition:
+      // keep the smaller relation inner for cache locality (Section V.A).
+      const bool swap = options.loop_order == LoopOrder::kSmallerInner &&
+                        left.rows() < right.rows();
+      const la::Matrix& outer = swap ? right : left;
+      const la::Matrix& inner = swap ? left : right;
+      ThresholdNlj(outer, inner, condition.threshold, swap, options,
+                   &result.pairs);
+      break;
+    }
+    case JoinCondition::Kind::kTopK:
+      if (condition.k == 0) {
+        return Status::InvalidArgument("NLJ: top-k with k == 0");
+      }
+      TopKNlj(left, right, condition.k, options, &result.pairs);
+      break;
+  }
+  SortPairs(&result.pairs);
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations =
+      static_cast<uint64_t>(left.rows()) * right.rows();
+  return result;
+}
+
+Result<JoinResult> PrefetchNljJoin(const std::vector<std::string>& left,
+                                   const std::vector<std::string>& right,
+                                   const model::EmbeddingModel& model,
+                                   const JoinCondition& condition,
+                                   const NljOptions& options) {
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("prefetch NLJ: model has dim 0");
+  }
+  const uint64_t model_calls_before = model.embed_calls();
+  WallTimer embed_timer;
+  // The logical optimization: embed each tuple exactly once, up front.
+  la::Matrix left_emb = model.EmbedBatch(left);
+  la::Matrix right_emb = model.EmbedBatch(right);
+  const double embed_seconds = embed_timer.ElapsedSeconds();
+
+  CEJ_ASSIGN_OR_RETURN(JoinResult result,
+                       NljJoinMatrices(left_emb, right_emb, condition,
+                                       options));
+  result.stats.embed_seconds = embed_seconds;
+  result.stats.model_calls = model.embed_calls() - model_calls_before;
+  result.stats.peak_buffer_bytes =
+      left_emb.MemoryBytes() + right_emb.MemoryBytes();
+  return result;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,269 @@
+#include "cej/join/tensor_join.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "cej/common/timer.h"
+#include "cej/la/gemm.h"
+#include "cej/la/topk.h"
+
+namespace cej::join {
+namespace {
+
+// Default mini-batch targets: the right (inner) tile is sized so its
+// vectors fit in half the L1 data cache — it is swept once per left row
+// and must stay resident; the left block amortizes that sweep.
+constexpr size_t kDefaultLeftBatch = 256;
+constexpr size_t kL1BudgetFloats = 4096;  // 16 KB of B-tile per sweep.
+
+size_t DefaultRightBatch(size_t dim) {
+  const size_t rows = kL1BudgetFloats / std::max<size_t>(dim, 1);
+  return std::clamp<size_t>(rows, 16, 2048);
+}
+
+}  // namespace
+
+TileShape ResolveTileShape(size_t left_rows, size_t right_rows, size_t dim,
+                           const TensorJoinOptions& options) {
+  TileShape shape;
+  shape.rows_left = options.batch_rows_left == 0
+                        ? std::min(left_rows, kDefaultLeftBatch)
+                        : std::min(left_rows, options.batch_rows_left);
+  shape.rows_right =
+      options.batch_rows_right == 0
+          ? std::min(right_rows, DefaultRightBatch(dim))
+          : std::min(right_rows, options.batch_rows_right);
+  shape.rows_left = std::max<size_t>(shape.rows_left, 1);
+  shape.rows_right = std::max<size_t>(shape.rows_right, 1);
+  if (options.memory_budget_bytes > 0) {
+    // Shrink the right block first (it is the streamed side), then the
+    // left, until the tile fits the budget.
+    while (shape.buffer_bytes() > options.memory_budget_bytes &&
+           shape.rows_right > 1) {
+      shape.rows_right = (shape.rows_right + 1) / 2;
+    }
+    while (shape.buffer_bytes() > options.memory_budget_bytes &&
+           shape.rows_left > 1) {
+      shape.rows_left = (shape.rows_left + 1) / 2;
+    }
+  }
+  return shape;
+}
+
+Result<JoinResult> TensorJoinMatrices(const la::Matrix& left,
+                                      const la::Matrix& right,
+                                      const JoinCondition& condition,
+                                      const TensorJoinOptions& options) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
+  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
+    return Status::InvalidArgument("tensor join: top-k with k == 0");
+  }
+
+  const size_t m = left.rows();
+  const size_t n = right.rows();
+  JoinResult result;
+  if (m == 0 || n == 0) return result;
+
+  const TileShape tile = ResolveTileShape(m, n, left.cols(), options);
+  WallTimer timer;
+  std::mutex merge_mu;
+
+  // One worker processes a contiguous range of left-tile indices; it owns
+  // a single reusable tile buffer (and, for top-k, the collectors of every
+  // left row in its tiles), so the hot loop is synchronization-free.
+  const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
+  auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+    std::vector<float> buffer(tile.rows_left * tile.rows_right);
+    std::vector<JoinPair> local;
+    std::vector<la::TopKCollector> collectors;
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+      const size_t i0 = t * tile.rows_left;
+      const size_t i1 = std::min(m, i0 + tile.rows_left);
+      if (condition.kind == JoinCondition::Kind::kTopK) {
+        collectors.clear();
+        collectors.reserve(i1 - i0);
+        for (size_t i = i0; i < i1; ++i) {
+          collectors.emplace_back(condition.k);
+        }
+      }
+      for (size_t j0 = 0; j0 < n; j0 += tile.rows_right) {
+        const size_t j1 = std::min(n, j0 + tile.rows_right);
+        la::GemmTile(left, right, i0, i1, j0, j1, buffer.data(),
+                     options.simd);
+        const size_t tile_cols = j1 - j0;
+        // Scan the dense tile; the sparse qualifying set is emitted as
+        // (batch offset) tuple pairs — the late-materialization result
+        // format of Figure 6 step 2.
+        if (condition.kind == JoinCondition::Kind::kThreshold) {
+          for (size_t i = i0; i < i1; ++i) {
+            const float* row = buffer.data() + (i - i0) * tile_cols;
+            for (size_t j = 0; j < tile_cols; ++j) {
+              if (row[j] >= condition.threshold) {
+                local.push_back({static_cast<uint32_t>(i),
+                                 static_cast<uint32_t>(j0 + j), row[j]});
+              }
+            }
+          }
+        } else {
+          for (size_t i = i0; i < i1; ++i) {
+            const float* row = buffer.data() + (i - i0) * tile_cols;
+            auto& collector = collectors[i - i0];
+            for (size_t j = 0; j < tile_cols; ++j) {
+              collector.Push(row[j], static_cast<uint64_t>(j0 + j));
+            }
+          }
+        }
+      }
+      if (condition.kind == JoinCondition::Kind::kTopK) {
+        for (size_t i = i0; i < i1; ++i) {
+          for (const auto& scored : collectors[i - i0].TakeSorted()) {
+            local.push_back({static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(scored.id),
+                             scored.score});
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+  };
+
+  size_t concurrency = 1;
+  if (options.pool != nullptr && num_left_tiles > 1) {
+    concurrency = static_cast<size_t>(options.pool->num_threads());
+    options.pool->ParallelForRange(0, num_left_tiles, run_tiles);
+  } else {
+    run_tiles(0, num_left_tiles);
+  }
+
+  SortPairs(&result.pairs);
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations = static_cast<uint64_t>(m) * n;
+  result.stats.peak_buffer_bytes =
+      tile.buffer_bytes() * std::min(concurrency, num_left_tiles);
+  return result;
+}
+
+Result<JoinResult> TensorJoinMatricesHalf(const la::HalfMatrix& left,
+                                          const la::HalfMatrix& right,
+                                          const JoinCondition& condition,
+                                          const TensorJoinOptions& options) {
+  if (left.cols() == 0 || left.cols() != right.cols()) {
+    return Status::InvalidArgument(
+        "tensor join (fp16): embedding dimensionality mismatch");
+  }
+  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
+    return Status::InvalidArgument("tensor join (fp16): top-k with k == 0");
+  }
+  const size_t m = left.rows();
+  const size_t n = right.rows();
+  const size_t dim = left.cols();
+  JoinResult result;
+  if (m == 0 || n == 0) return result;
+
+  // FP16 rows are half-width: the same L1 budget fits twice the tile.
+  TensorJoinOptions half_options = options;
+  if (half_options.batch_rows_right == 0) {
+    half_options.batch_rows_right =
+        ResolveTileShape(m, n, std::max<size_t>(dim / 2, 1), options)
+            .rows_right;
+  }
+  const TileShape tile = ResolveTileShape(m, n, dim, half_options);
+  WallTimer timer;
+  std::mutex merge_mu;
+
+  const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
+  auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
+    std::vector<float> buffer(tile.rows_left * tile.rows_right);
+    std::vector<JoinPair> local;
+    std::vector<la::TopKCollector> collectors;
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+      const size_t i0 = t * tile.rows_left;
+      const size_t i1 = std::min(m, i0 + tile.rows_left);
+      if (condition.kind == JoinCondition::Kind::kTopK) {
+        collectors.clear();
+        for (size_t i = i0; i < i1; ++i) {
+          collectors.emplace_back(condition.k);
+        }
+      }
+      for (size_t j0 = 0; j0 < n; j0 += tile.rows_right) {
+        const size_t j1 = std::min(n, j0 + tile.rows_right);
+        const size_t tile_cols = j1 - j0;
+        for (size_t i = i0; i < i1; ++i) {
+          la::DotHalfOneToMany(left.Row(i), right.Row(j0), tile_cols, dim,
+                               buffer.data() + (i - i0) * tile_cols,
+                               options.simd);
+        }
+        if (condition.kind == JoinCondition::Kind::kThreshold) {
+          for (size_t i = i0; i < i1; ++i) {
+            const float* row = buffer.data() + (i - i0) * tile_cols;
+            for (size_t j = 0; j < tile_cols; ++j) {
+              if (row[j] >= condition.threshold) {
+                local.push_back({static_cast<uint32_t>(i),
+                                 static_cast<uint32_t>(j0 + j), row[j]});
+              }
+            }
+          }
+        } else {
+          for (size_t i = i0; i < i1; ++i) {
+            const float* row = buffer.data() + (i - i0) * tile_cols;
+            auto& collector = collectors[i - i0];
+            for (size_t j = 0; j < tile_cols; ++j) {
+              collector.Push(row[j], static_cast<uint64_t>(j0 + j));
+            }
+          }
+        }
+      }
+      if (condition.kind == JoinCondition::Kind::kTopK) {
+        for (size_t i = i0; i < i1; ++i) {
+          for (const auto& scored : collectors[i - i0].TakeSorted()) {
+            local.push_back({static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(scored.id),
+                             scored.score});
+          }
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+  };
+
+  size_t concurrency = 1;
+  if (options.pool != nullptr && num_left_tiles > 1) {
+    concurrency = static_cast<size_t>(options.pool->num_threads());
+    options.pool->ParallelForRange(0, num_left_tiles, run_tiles);
+  } else {
+    run_tiles(0, num_left_tiles);
+  }
+
+  SortPairs(&result.pairs);
+  result.stats.join_seconds = timer.ElapsedSeconds();
+  result.stats.similarity_computations = static_cast<uint64_t>(m) * n;
+  result.stats.peak_buffer_bytes =
+      tile.buffer_bytes() * std::min(concurrency, num_left_tiles);
+  return result;
+}
+
+Result<JoinResult> TensorJoin(const std::vector<std::string>& left,
+                              const std::vector<std::string>& right,
+                              const model::EmbeddingModel& model,
+                              const JoinCondition& condition,
+                              const TensorJoinOptions& options) {
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("tensor join: model has dim 0");
+  }
+  const uint64_t model_calls_before = model.embed_calls();
+  WallTimer embed_timer;
+  la::Matrix left_emb = model.EmbedBatch(left);
+  la::Matrix right_emb = model.EmbedBatch(right);
+  const double embed_seconds = embed_timer.ElapsedSeconds();
+
+  CEJ_ASSIGN_OR_RETURN(JoinResult result,
+                       TensorJoinMatrices(left_emb, right_emb, condition,
+                                          options));
+  result.stats.embed_seconds = embed_seconds;
+  result.stats.model_calls = model.embed_calls() - model_calls_before;
+  return result;
+}
+
+}  // namespace cej::join

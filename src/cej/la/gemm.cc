@@ -1,0 +1,69 @@
+#include "cej/la/gemm.h"
+
+#include <algorithm>
+
+#include "cej/common/macros.h"
+
+namespace cej::la {
+
+void GemmTile(const Matrix& a, const Matrix& b, size_t i0, size_t i1,
+              size_t j0, size_t j1, float* out, SimdMode simd) {
+  CEJ_DCHECK(a.cols() == b.cols());
+  CEJ_DCHECK(i0 <= i1 && i1 <= a.rows());
+  CEJ_DCHECK(j0 <= j1 && j1 <= b.rows());
+  const size_t dim = a.cols();
+  const size_t tile_cols = j1 - j0;
+  // For each row of A in the tile, compute dots against all rows of the B
+  // tile with the one-to-many kernel: the A row stays in registers while the
+  // B tile (sized to fit cache by the caller) is swept linearly.
+  for (size_t i = i0; i < i1; ++i) {
+    DotOneToMany(a.Row(i), b.Row(j0), tile_cols, dim,
+                 out + (i - i0) * tile_cols, simd);
+  }
+}
+
+void GemmABt(const Matrix& a, const Matrix& b, Matrix* d,
+             const GemmOptions& options) {
+  CEJ_CHECK(d != nullptr);
+  CEJ_CHECK(a.cols() == b.cols());
+  CEJ_CHECK(d->rows() == a.rows() && d->cols() == b.rows());
+  const size_t m = a.rows();
+  const size_t n = b.rows();
+  const size_t dim = a.cols();
+  const size_t block_m = std::max<size_t>(options.block_m, 1);
+  const size_t block_n = std::max<size_t>(options.block_n, 1);
+
+  auto compute_rows = [&](size_t row_begin, size_t row_end) {
+    // j-tiles inner so each B tile is reused across the whole A row block.
+    for (size_t j0 = 0; j0 < n; j0 += block_n) {
+      const size_t j1 = std::min(n, j0 + block_n);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        DotOneToMany(a.Row(i), b.Row(j0), j1 - j0, dim, d->Row(i) + j0,
+                     options.simd);
+      }
+    }
+  };
+
+  if (options.pool == nullptr || m * n * dim < (1u << 16)) {
+    compute_rows(0, m);
+    return;
+  }
+  options.pool->ParallelForRange(0, m, compute_rows, block_m);
+}
+
+void GemmABtReference(const Matrix& a, const Matrix& b, Matrix* d) {
+  CEJ_CHECK(d != nullptr);
+  CEJ_CHECK(a.cols() == b.cols());
+  CEJ_CHECK(d->rows() == a.rows() && d->cols() == b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(j, k);
+      }
+      d->At(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace cej::la

@@ -1,0 +1,220 @@
+#include "cej/la/half.h"
+
+#include <cstring>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace cej::la {
+namespace {
+
+// Software binary32 -> binary16 with round-to-nearest-even (handles
+// normals, subnormals, infinities, NaN). Used when F16C is unavailable
+// and for the scalar reference path.
+Half FloatToHalfSoftware(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  bits &= 0x7fffffffu;
+  if (bits >= 0x7f800000u) {  // Inf / NaN.
+    const uint32_t mantissa = bits & 0x7fffffu;
+    return static_cast<Half>(sign | 0x7c00u | (mantissa ? 0x200u : 0u));
+  }
+  if (bits >= 0x477ff000u) {  // Overflows half range -> inf.
+    return static_cast<Half>(sign | 0x7c00u);
+  }
+  if (bits < 0x38800000u) {  // Subnormal half (or zero).
+    if (bits < 0x33000000u) return static_cast<Half>(sign);  // -> 0.
+    // Half subnormals encode value = h * 2^-24; with the float's implicit
+    // 24-bit mantissa M and exponent e, h = M >> (126 - e), rounded to
+    // nearest-even. The discard width lies in [14, 24].
+    const int shift = 126 - static_cast<int>(bits >> 23);
+    const uint64_t mantissa = (bits & 0x7fffffu) | 0x800000u;
+    const uint64_t rounded = mantissa >> shift;
+    const uint64_t remainder = mantissa & ((1ull << shift) - 1);
+    const uint64_t halfway = 1ull << (shift - 1);
+    uint64_t out = rounded;
+    if (remainder > halfway || (remainder == halfway && (rounded & 1u))) {
+      ++out;
+    }
+    return static_cast<Half>(sign | static_cast<uint32_t>(out));
+  }
+  // Normal range.
+  const uint32_t exponent = ((bits >> 23) - 112u) << 10;
+  const uint32_t mantissa = (bits >> 13) & 0x3ffu;
+  uint32_t out = exponent | mantissa;
+  const uint32_t remainder = bits & 0x1fffu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (out & 1u))) {
+    ++out;  // Round to nearest even; may carry into the exponent, which
+            // is correct (next binade or inf).
+  }
+  return static_cast<Half>(sign | out);
+}
+
+float HalfToFloatSoftware(Half value) {
+  const uint32_t sign = (static_cast<uint32_t>(value) & 0x8000u) << 16;
+  const uint32_t exponent = (value >> 10) & 0x1fu;
+  const uint32_t mantissa = value & 0x3ffu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // Zero.
+    } else {
+      // Subnormal: normalize. A half subnormal with MSB at bit p encodes
+      // 1.f x 2^(p-24), i.e. float exponent field 103 + p.
+      int e = -1;
+      uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | ((112u - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exponent == 0x1f) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // Inf / NaN.
+  } else {
+    bits = sign | ((exponent + 112u) << 23) | (mantissa << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace
+
+Half FloatToHalfPortable(float value) { return FloatToHalfSoftware(value); }
+float HalfToFloatPortable(Half value) { return HalfToFloatSoftware(value); }
+
+Half FloatToHalf(float value) {
+#if defined(__F16C__)
+  return static_cast<Half>(
+      _cvtss_sh(value, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+#else
+  return FloatToHalfSoftware(value);
+#endif
+}
+
+float HalfToFloat(Half value) {
+#if defined(__F16C__)
+  return _cvtsh_ss(value);
+#else
+  return HalfToFloatSoftware(value);
+#endif
+}
+
+HalfMatrix HalfMatrix::FromFloat(const Matrix& source) {
+  HalfMatrix out(source.rows(), source.cols());
+  const float* in = source.data();
+  Half* dst = out.data_.data();
+  for (size_t i = 0; i < source.size(); ++i) dst[i] = FloatToHalf(in[i]);
+  return out;
+}
+
+Matrix HalfMatrix::ToFloat() const {
+  Matrix out(rows_, cols_);
+  float* dst = out.data();
+  for (size_t i = 0; i < size(); ++i) dst[i] = HalfToFloat(data_[i]);
+  return out;
+}
+
+float DotHalf(const Half* a, const Half* b, size_t dim, SimdMode mode) {
+#if defined(__AVX512F__) && defined(__F16C__)
+  if (mode == SimdMode::kAuto &&
+      ActiveSimdLevel() == SimdLevel::kAvx512) {
+    __m512 acc = _mm512_setzero_ps();
+    size_t i = 0;
+    for (; i + 16 <= dim; i += 16) {
+      const __m512 va = _mm512_cvtph_ps(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+      const __m512 vb = _mm512_cvtph_ps(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+      acc = _mm512_fmadd_ps(va, vb, acc);
+    }
+    float sum = _mm512_reduce_add_ps(acc);
+    for (; i < dim; ++i) {
+      sum += HalfToFloat(a[i]) * HalfToFloat(b[i]);
+    }
+    return sum;
+  }
+#endif
+#if defined(__AVX2__) && defined(__F16C__) && defined(__FMA__)
+  if (mode == SimdMode::kAuto &&
+      ActiveSimdLevel() >= SimdLevel::kAvx2) {
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      const __m256 va = _mm256_cvtph_ps(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+      const __m256 vb = _mm256_cvtph_ps(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+      acc = _mm256_fmadd_ps(va, vb, acc);
+    }
+    __m128 lo = _mm256_castps256_ps128(acc);
+    __m128 hi = _mm256_extractf128_ps(acc, 1);
+    lo = _mm_add_ps(lo, hi);
+    lo = _mm_hadd_ps(lo, lo);
+    lo = _mm_hadd_ps(lo, lo);
+    float sum = _mm_cvtss_f32(lo);
+    for (; i < dim; ++i) {
+      sum += HalfToFloat(a[i]) * HalfToFloat(b[i]);
+    }
+    return sum;
+  }
+#endif
+  float sum = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    sum += HalfToFloat(a[i]) * HalfToFloat(b[i]);
+  }
+  return sum;
+}
+
+#if defined(__AVX512F__) && defined(__F16C__)
+namespace {
+
+// 8-row register-blocked FP16 kernel: the widened a-chunk is reused across
+// eight b rows, mirroring the FP32 Dot8 kernel; only the loads differ
+// (half-width + cvtph widening).
+void Dot8HalfAvx512(const Half* a, const Half* b, size_t dim, size_t stride,
+                    float* out) {
+  __m512 acc[8];
+  for (auto& v : acc) v = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 va = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    for (int r = 0; r < 8; ++r) {
+      const __m512 vb = _mm512_cvtph_ps(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + r * stride + i)));
+      acc[r] = _mm512_fmadd_ps(va, vb, acc[r]);
+    }
+  }
+  for (int r = 0; r < 8; ++r) out[r] = _mm512_reduce_add_ps(acc[r]);
+  for (; i < dim; ++i) {
+    const float av = HalfToFloat(a[i]);
+    for (int r = 0; r < 8; ++r) {
+      out[r] += av * HalfToFloat(b[r * stride + i]);
+    }
+  }
+}
+
+}  // namespace
+#endif  // __AVX512F__ && __F16C__
+
+void DotHalfOneToMany(const Half* a, const Half* b_rows, size_t nrows,
+                      size_t dim, float* out, SimdMode mode) {
+  size_t r = 0;
+#if defined(__AVX512F__) && defined(__F16C__)
+  if (mode == SimdMode::kAuto &&
+      ActiveSimdLevel() == SimdLevel::kAvx512) {
+    for (; r + 8 <= nrows; r += 8) {
+      Dot8HalfAvx512(a, b_rows + r * dim, dim, dim, out + r);
+    }
+  }
+#endif
+  for (; r < nrows; ++r) {
+    out[r] = DotHalf(a, b_rows + r * dim, dim, mode);
+  }
+}
+
+}  // namespace cej::la

@@ -1,0 +1,30 @@
+#include "cej/la/matrix.h"
+
+#include <cmath>
+
+namespace cej::la {
+
+Matrix Matrix::Clone() const {
+  Matrix copy(rows_, cols_);
+  copy.data_.CopyFrom(data_);
+  return copy;
+}
+
+void Matrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.Resize(rows * cols);
+}
+
+void Matrix::NormalizeRows() {
+  for (size_t r = 0; r < rows_; ++r) {
+    float* row = Row(r);
+    float sq = 0.0f;
+    for (size_t c = 0; c < cols_; ++c) sq += row[c] * row[c];
+    if (sq == 0.0f) continue;
+    const float inv = 1.0f / std::sqrt(sq);
+    for (size_t c = 0; c < cols_; ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace cej::la

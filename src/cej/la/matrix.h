@@ -1,0 +1,75 @@
+// Row-major dense float matrix: the in-memory representation of a batch of
+// embedding vectors (one tuple's embedding per row).
+
+#ifndef CEJ_LA_MATRIX_H_
+#define CEJ_LA_MATRIX_H_
+
+#include <cstddef>
+
+#include "cej/common/aligned_buffer.h"
+#include "cej/common/macros.h"
+
+namespace cej::la {
+
+/// Dense row-major matrix of float32 backed by 64-byte-aligned storage.
+/// Move-only (embedding batches can be gigabytes); copy via CopyFrom.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Allocates a zero-initialized `rows` x `cols` matrix.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols) {}
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  Matrix(const Matrix&) = delete;
+  Matrix& operator=(const Matrix&) = delete;
+
+  /// Explicit deep copy.
+  Matrix Clone() const;
+
+  /// Discards contents and reshapes to `rows` x `cols`, zero-filled.
+  void Reset(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(size_t r) {
+    CEJ_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    CEJ_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    CEJ_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    CEJ_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// L2-normalizes every row in place. Zero rows are left untouched.
+  void NormalizeRows();
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return size() * sizeof(float); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  AlignedBuffer data_;
+};
+
+}  // namespace cej::la
+
+#endif  // CEJ_LA_MATRIX_H_

@@ -1,0 +1,47 @@
+#include "cej/la/matrix_io.h"
+
+#include "cej/common/serde.h"
+
+namespace cej::la {
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4a4543;  // "CEJM"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveMatrix(const Matrix& matrix, const std::string& path) {
+  CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kMagic));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kVersion));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.rows()));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.cols()));
+  return writer.WriteBytes(matrix.data(), matrix.size() * sizeof(float));
+}
+
+Result<Matrix> LoadMatrix(const std::string& path) {
+  CEJ_ASSIGN_OR_RETURN(serde::Reader reader, serde::Reader::Open(path));
+  uint32_t magic = 0, version = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&magic));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("matrix load: bad magic in '" + path +
+                                   "'");
+  }
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("matrix load: unsupported version " +
+                                   std::to_string(version));
+  }
+  uint64_t rows = 0, cols = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&rows));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&cols));
+  if (rows * cols > (1ull << 33)) {
+    return Status::OutOfRange("matrix load: implausible shape");
+  }
+  Matrix out(rows, cols);
+  CEJ_RETURN_IF_ERROR(
+      reader.ReadBytes(out.data(), out.size() * sizeof(float)));
+  return out;
+}
+
+}  // namespace cej::la

@@ -1,0 +1,22 @@
+// Binary persistence for embedding matrices ("CEJM" format: magic,
+// version, rows, cols, row-major float payload).
+
+#ifndef CEJ_LA_MATRIX_IO_H_
+#define CEJ_LA_MATRIX_IO_H_
+
+#include <string>
+
+#include "cej/common/status.h"
+#include "cej/la/matrix.h"
+
+namespace cej::la {
+
+/// Writes `matrix` to `path`, overwriting.
+Status SaveMatrix(const Matrix& matrix, const std::string& path);
+
+/// Reads a matrix previously written by SaveMatrix.
+Result<Matrix> LoadMatrix(const std::string& path);
+
+}  // namespace cej::la
+
+#endif  // CEJ_LA_MATRIX_IO_H_

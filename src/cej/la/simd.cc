@@ -1,0 +1,190 @@
+#include "cej/la/simd.h"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace cej::la {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (auto-vectorization disabled so "NO-SIMD" means no SIMD).
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define CEJ_NO_VECTORIZE \
+  __attribute__((noinline, optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define CEJ_NO_VECTORIZE __attribute__((noinline))
+#endif
+
+CEJ_NO_VECTORIZE
+float DotScalarImpl(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+CEJ_NO_VECTORIZE
+float SquaredNormScalarImpl(const float* a, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (8 floats per register, FMA).
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__) && defined(__FMA__)
+float DotAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float acc = _mm_cvtss_f32(lo);
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+#endif  // __AVX2__ && __FMA__
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels (16 floats per register, FMA).
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX512F__)
+float DotAvx512(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  float acc = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// dot(a, b_r) for 8 consecutive rows at once: a's registers are reused
+// across all eight rows (8x the arithmetic intensity per load of a), and
+// the dimension tail is handled with a masked load instead of a scalar
+// loop — both essential for dims like 100 that are not multiples of 16.
+void Dot8Avx512(const float* a, const float* b, size_t dim, size_t stride,
+                float* out) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps();
+  __m512 acc3 = _mm512_setzero_ps();
+  __m512 acc4 = _mm512_setzero_ps();
+  __m512 acc5 = _mm512_setzero_ps();
+  __m512 acc6 = _mm512_setzero_ps();
+  __m512 acc7 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 va = _mm512_loadu_ps(a + i);
+    acc0 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + i), acc0);
+    acc1 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + stride + i), acc1);
+    acc2 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 2 * stride + i), acc2);
+    acc3 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 3 * stride + i), acc3);
+    acc4 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 4 * stride + i), acc4);
+    acc5 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 5 * stride + i), acc5);
+    acc6 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 6 * stride + i), acc6);
+    acc7 = _mm512_fmadd_ps(va, _mm512_loadu_ps(b + 7 * stride + i), acc7);
+  }
+  if (i < dim) {
+    const __mmask16 mask =
+        static_cast<__mmask16>((1u << (dim - i)) - 1u);
+    const __m512 va = _mm512_maskz_loadu_ps(mask, a + i);
+    acc0 = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(mask, b + i), acc0);
+    acc1 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + stride + i), acc1);
+    acc2 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 2 * stride + i), acc2);
+    acc3 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 3 * stride + i), acc3);
+    acc4 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 4 * stride + i), acc4);
+    acc5 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 5 * stride + i), acc5);
+    acc6 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 6 * stride + i), acc6);
+    acc7 = _mm512_fmadd_ps(
+        va, _mm512_maskz_loadu_ps(mask, b + 7 * stride + i), acc7);
+  }
+  out[0] = _mm512_reduce_add_ps(acc0);
+  out[1] = _mm512_reduce_add_ps(acc1);
+  out[2] = _mm512_reduce_add_ps(acc2);
+  out[3] = _mm512_reduce_add_ps(acc3);
+  out[4] = _mm512_reduce_add_ps(acc4);
+  out[5] = _mm512_reduce_add_ps(acc5);
+  out[6] = _mm512_reduce_add_ps(acc6);
+  out[7] = _mm512_reduce_add_ps(acc7);
+}
+#endif  // __AVX512F__
+
+}  // namespace
+
+float DotScalar(const float* a, const float* b, size_t dim) {
+  return DotScalarImpl(a, b, dim);
+}
+
+float DotSimd(const float* a, const float* b, size_t dim) {
+  switch (ActiveSimdLevel()) {
+#if defined(__AVX512F__)
+    case SimdLevel::kAvx512:
+      return DotAvx512(a, b, dim);
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+    case SimdLevel::kAvx2:
+      return DotAvx2(a, b, dim);
+#endif
+    default:
+      return DotScalarImpl(a, b, dim);
+  }
+}
+
+void DotOneToMany(const float* a, const float* b_rows, size_t nrows,
+                  size_t dim, float* out, SimdMode mode) {
+  size_t r = 0;
+#if defined(__AVX512F__)
+  if (mode == SimdMode::kAuto && ActiveSimdLevel() == SimdLevel::kAvx512) {
+    for (; r + 8 <= nrows; r += 8) {
+      Dot8Avx512(a, b_rows + r * dim, dim, dim, out + r);
+    }
+  }
+#endif
+  for (; r < nrows; ++r) {
+    out[r] = Dot(a, b_rows + r * dim, dim, mode);
+  }
+}
+
+float SquaredNorm(const float* a, size_t dim, SimdMode mode) {
+  if (mode == SimdMode::kForceScalar) return SquaredNormScalarImpl(a, dim);
+  return DotSimd(a, a, dim);
+}
+
+SimdLevel ActiveSimdLevel() { return CpuInfo::MaxSimdLevel(); }
+
+}  // namespace cej::la

@@ -1,0 +1,54 @@
+// SIMD dot-product kernels.
+//
+// The paper's physical optimization study (Sections V, VI.B-C) compares
+// SIMD-vectorized against scalar execution of the cosine-similarity inner
+// loop. To make that comparison honest, the scalar kernel here is compiled
+// with auto-vectorization disabled; the SIMD kernels use AVX2/AVX-512 FMA
+// intrinsics explicitly. Callers select a kernel via SimdMode.
+
+#ifndef CEJ_LA_SIMD_H_
+#define CEJ_LA_SIMD_H_
+
+#include <cstddef>
+
+#include "cej/common/cpu_info.h"
+
+namespace cej::la {
+
+/// Kernel selection policy for similarity computations.
+enum class SimdMode {
+  /// Plain scalar loop, compiler auto-vectorization disabled. This is the
+  /// "NO-SIMD" configuration of Figures 8 and 9.
+  kForceScalar,
+  /// Best available vector kernel (AVX-512 > AVX2 > scalar).
+  kAuto,
+};
+
+/// Dot product, scalar loop with vectorization disabled (true NO-SIMD).
+float DotScalar(const float* a, const float* b, size_t dim);
+
+/// Dot product using the widest instruction set this binary+CPU supports.
+float DotSimd(const float* a, const float* b, size_t dim);
+
+/// Dot product dispatched by `mode`.
+inline float Dot(const float* a, const float* b, size_t dim, SimdMode mode) {
+  return mode == SimdMode::kForceScalar ? DotScalar(a, b, dim)
+                                        : DotSimd(a, b, dim);
+}
+
+/// Computes dot(a, b_r) for `nrows` consecutive rows b_0..b_{nrows-1} of a
+/// row-major matrix with stride `dim`, writing results to out[0..nrows).
+/// Keeping `a` in registers across rows is the key cache win the tensor
+/// micro-kernel builds on.
+void DotOneToMany(const float* a, const float* b_rows, size_t nrows,
+                  size_t dim, float* out, SimdMode mode);
+
+/// Sum of squares (squared L2 norm), dispatched like Dot.
+float SquaredNorm(const float* a, size_t dim, SimdMode mode);
+
+/// The SIMD level the kAuto kernels will actually use at runtime.
+SimdLevel ActiveSimdLevel();
+
+}  // namespace cej::la
+
+#endif  // CEJ_LA_SIMD_H_

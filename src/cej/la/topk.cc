@@ -1,0 +1,62 @@
+#include "cej/la/topk.h"
+
+#include <algorithm>
+
+#include "cej/common/macros.h"
+
+namespace cej::la {
+namespace {
+
+// Heap comparison making the *worst* kept element the heap top. "Worse"
+// means lower score, or equal score with larger id (so the smaller id wins
+// ties for being kept).
+bool HeapLess(const ScoredId& x, const ScoredId& y) {
+  if (x.score != y.score) return x.score > y.score;
+  return x.id < y.id;
+}
+
+}  // namespace
+
+TopKCollector::TopKCollector(size_t k) : k_(k) {
+  CEJ_CHECK(k_ > 0);
+  heap_.reserve(k_);
+}
+
+void TopKCollector::Push(float score, uint64_t id) {
+  if (heap_.size() < k_) {
+    heap_.push_back({score, id});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  const ScoredId& worst = heap_.front();
+  if (score < worst.score ||
+      (score == worst.score && id > worst.id)) {
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = {score, id};
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+bool TopKCollector::WouldAccept(float score) const {
+  if (heap_.size() < k_) return true;
+  return score >= heap_.front().score;
+}
+
+std::vector<ScoredId> TopKCollector::TakeSorted() {
+  std::vector<ScoredId> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end());  // ScoredId::operator< is best-first.
+  return out;
+}
+
+std::vector<ScoredId> SelectTopK(const float* scores, size_t n, size_t k) {
+  TopKCollector collector(k == 0 ? 1 : k);
+  if (k == 0) return {};
+  for (size_t i = 0; i < n; ++i) {
+    collector.Push(scores[i], static_cast<uint64_t>(i));
+  }
+  return collector.TakeSorted();
+}
+
+}  // namespace cej::la

@@ -1,0 +1,57 @@
+// E^{-1}: decoding embeddings back to context-rich data (paper Section
+// III.C). When the model has no generative decoder, the paper prescribes "a
+// lookup table mechanism [that] can maintain the object-embedding mapping
+// via unique IDs" — this is that mechanism, with nearest-neighbour decoding
+// for vectors that are not exact table entries.
+
+#ifndef CEJ_MODEL_DECODER_H_
+#define CEJ_MODEL_DECODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/la/matrix.h"
+#include "cej/la/topk.h"
+
+namespace cej::model {
+
+/// A decoded match: the recovered string and its cosine similarity to the
+/// query vector.
+struct Decoded {
+  std::string word;
+  float similarity;
+};
+
+/// Inverse-embedding table: id -> (word, unit vector).
+class Decoder {
+ public:
+  /// Builds the decoder over parallel word/embedding arrays. Rows are
+  /// L2-normalized. Fails on size mismatch or empty input.
+  static Result<Decoder> Create(std::vector<std::string> words,
+                                la::Matrix table);
+
+  /// Decodes `vec` (dim = table cols) to its nearest table entry.
+  Decoded Decode(const float* vec) const;
+
+  /// Returns the `k` nearest table entries, best-first (Table II's
+  /// "Top-15 Model Matches" uses k=15).
+  std::vector<Decoded> DecodeTopK(const float* vec, size_t k) const;
+
+  /// Exact inverse for a known id (E^{-1}(E(R)) = R round trip).
+  const std::string& WordOf(size_t id) const { return words_.at(id); }
+
+  size_t size() const { return words_.size(); }
+  size_t dim() const { return table_.cols(); }
+
+ private:
+  Decoder(std::vector<std::string> words, la::Matrix table);
+
+  std::vector<std::string> words_;
+  la::Matrix table_;
+};
+
+}  // namespace cej::model
+
+#endif  // CEJ_MODEL_DECODER_H_

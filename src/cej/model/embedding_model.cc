@@ -1,0 +1,14 @@
+#include "cej/model/embedding_model.h"
+
+namespace cej::model {
+
+la::Matrix EmbeddingModel::EmbedBatch(
+    const std::vector<std::string>& inputs) const {
+  la::Matrix out(inputs.size(), dim());
+  for (size_t r = 0; r < inputs.size(); ++r) {
+    Embed(inputs[r], out.Row(r));
+  }
+  return out;
+}
+
+}  // namespace cej::model

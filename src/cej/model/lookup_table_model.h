@@ -1,0 +1,60 @@
+// Precomputed-embedding lookup model with a simulated access cost.
+//
+// The paper's cost model (Section IV.A) treats the model term M as anything
+// from "random access to a lookup table (several times slower than a
+// sequential scan)" to "expensive computation over a deep network" — or even
+// a paid per-embedding API call. LookupTableModel makes M an explicit,
+// controllable knob so experiments can sweep the model-cost axis without
+// changing anything else.
+
+#ifndef CEJ_MODEL_LOOKUP_TABLE_MODEL_H_
+#define CEJ_MODEL_LOOKUP_TABLE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/la/matrix.h"
+#include "cej/model/embedding_model.h"
+#include "cej/model/vocab.h"
+
+namespace cej::model {
+
+/// Options for LookupTableModel.
+struct LookupTableOptions {
+  /// Artificial per-access model cost in nanoseconds (busy-wait), simulating
+  /// expensive inference / remote model access. 0 = raw table lookup.
+  uint64_t access_cost_ns = 0;
+};
+
+/// EmbeddingModel backed by an explicit (vocab -> row) table. Unknown words
+/// embed to a deterministic hash vector.
+class LookupTableModel final : public EmbeddingModel {
+ public:
+  /// Builds a model from parallel `words` / `table` rows. The table is
+  /// L2-normalized on ingestion. Fails if sizes mismatch or are empty.
+  static Result<std::unique_ptr<LookupTableModel>> Create(
+      const std::vector<std::string>& words, la::Matrix table,
+      LookupTableOptions options = {});
+
+  size_t dim() const override { return table_.cols(); }
+  const Vocab& vocab() const { return *vocab_; }
+  const la::Matrix& table() const { return table_; }
+
+ protected:
+  void EmbedImpl(std::string_view input, float* out) const override;
+
+ private:
+  LookupTableModel(std::shared_ptr<Vocab> vocab, la::Matrix table,
+                   LookupTableOptions options);
+
+  std::shared_ptr<Vocab> vocab_;
+  la::Matrix table_;
+  LookupTableOptions options_;
+};
+
+}  // namespace cej::model
+
+#endif  // CEJ_MODEL_LOOKUP_TABLE_MODEL_H_

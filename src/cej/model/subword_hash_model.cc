@@ -1,0 +1,99 @@
+#include "cej/model/subword_hash_model.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "cej/common/macros.h"
+#include "cej/common/rng.h"
+#include "cej/la/vector_ops.h"
+
+namespace cej::model {
+namespace {
+
+// FNV-1a over bytes; cheap and well-distributed enough for n-gram bucketing.
+uint64_t Fnv1a(const char* data, size_t len, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SubwordHashModel::SubwordHashModel(SubwordHashOptions options,
+                                   const ConceptLexicon* lexicon)
+    : options_(options), lexicon_(lexicon) {
+  CEJ_CHECK(options_.dim > 0);
+  CEJ_CHECK(options_.min_ngram >= 1);
+  CEJ_CHECK(options_.min_ngram <= options_.max_ngram);
+  CEJ_CHECK(options_.concept_weight >= 0.0f &&
+            options_.concept_weight <= 1.0f);
+}
+
+void SubwordHashModel::AccumulateBucket(uint64_t h, float w,
+                                        float* out) const {
+  // Expand the bucket hash into a deterministic pseudo-random vector with
+  // components in [-1, 1). No table is materialized: the "model parameters"
+  // are a pure function of (model seed, bucket), which keeps the model
+  // infinitely OOV-capable like FastText's hashing trick.
+  uint64_t state = h ^ (options_.seed * 0x9e3779b97f4a7c15ULL);
+  const size_t d = options_.dim;
+  for (size_t i = 0; i < d; ++i) {
+    const uint64_t bits = SplitMix64(state);
+    const float unit = static_cast<float>((bits >> 40) * 0x1.0p-24) * 2.0f -
+                       1.0f;
+    out[i] += w * unit;
+  }
+}
+
+void SubwordHashModel::EmbedImpl(std::string_view input, float* out) const {
+  const size_t d = options_.dim;
+  std::memset(out, 0, d * sizeof(float));
+
+  // Word boundary markers, as in FastText ("<word>").
+  std::string padded;
+  padded.reserve(input.size() + 2);
+  padded.push_back('<');
+  padded.append(input);
+  padded.push_back('>');
+
+  // Whole-word bucket plus all character n-grams in [min_ngram, max_ngram].
+  size_t num_subwords = 1;
+  AccumulateBucket(Fnv1a(padded.data(), padded.size(), /*seed=*/0), 1.0f,
+                   out);
+  const size_t len = padded.size();
+  for (size_t n = options_.min_ngram; n <= options_.max_ngram && n <= len;
+       ++n) {
+    for (size_t pos = 0; pos + n <= len; ++pos) {
+      AccumulateBucket(Fnv1a(padded.data() + pos, n, /*seed=*/n), 1.0f, out);
+      ++num_subwords;
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(num_subwords);
+  for (size_t i = 0; i < d; ++i) out[i] *= inv;
+  la::NormalizeInPlace(out, d);
+
+  // Blend in the learned-semantics component for in-lexicon words:
+  //   v = (1-cw) * surface + cw * concept, renormalized.
+  if (lexicon_ != nullptr) {
+    const int64_t concept_id = lexicon_->Lookup(input);
+    if (concept_id >= 0) {
+      const float cw = options_.concept_weight;
+      std::vector<float> concept_vec(d, 0.0f);
+      // Concept vectors live in a disjoint hash domain (seed offset).
+      const uint64_t h = Fnv1a(reinterpret_cast<const char*>(&concept_id),
+                               sizeof(concept_id), /*seed=*/0xC0CEB7ULL);
+      AccumulateBucket(h, 1.0f, concept_vec.data());
+      la::NormalizeInPlace(concept_vec.data(), d);
+      for (size_t i = 0; i < d; ++i) {
+        out[i] = (1.0f - cw) * out[i] + cw * concept_vec[i];
+      }
+      la::NormalizeInPlace(out, d);
+    }
+  }
+}
+
+}  // namespace cej::model

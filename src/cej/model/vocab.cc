@@ -1,0 +1,56 @@
+#include "cej/model/vocab.h"
+
+#include <cmath>
+
+#include "cej/common/macros.h"
+
+namespace cej::model {
+
+uint32_t Vocab::AddOccurrence(std::string_view word) {
+  ++total_count_;
+  auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(words_.size());
+  ids_.emplace(std::string(word), id);
+  words_.emplace_back(word);
+  counts_.push_back(1);
+  return id;
+}
+
+int64_t Vocab::Lookup(std::string_view word) const {
+  auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+void Vocab::BuildSamplingTable(size_t table_size) {
+  CEJ_CHECK(!words_.empty());
+  sampling_table_.clear();
+  sampling_table_.reserve(table_size);
+  double z = 0.0;
+  for (uint64_t c : counts_) z += std::pow(static_cast<double>(c), 0.75);
+  double cumulative = 0.0;
+  size_t filled = 0;
+  for (uint32_t id = 0; id < words_.size(); ++id) {
+    cumulative += std::pow(static_cast<double>(counts_[id]), 0.75) / z;
+    const size_t target =
+        static_cast<size_t>(cumulative * static_cast<double>(table_size));
+    while (filled < target && filled < table_size) {
+      sampling_table_.push_back(id);
+      ++filled;
+    }
+  }
+  while (filled < table_size) {
+    sampling_table_.push_back(static_cast<uint32_t>(words_.size() - 1));
+    ++filled;
+  }
+}
+
+uint32_t Vocab::SampleNegative(Rng& rng) const {
+  CEJ_CHECK(!sampling_table_.empty());
+  return sampling_table_[rng.NextBounded(sampling_table_.size())];
+}
+
+}  // namespace cej::model

@@ -1,0 +1,52 @@
+// Scan-versus-probe access path selection for vector joins (paper Section
+// VI.E), extending Kester et al.'s relational access path selection to the
+// hybrid vector-relational setting: the decision is driven by the
+// *relational selectivity* of the pushed-down predicates, the join
+// condition shape (top-k vs range), and the calibrated cost model.
+
+#ifndef CEJ_PLAN_ACCESS_PATH_H_
+#define CEJ_PLAN_ACCESS_PATH_H_
+
+#include <cstddef>
+
+#include "cej/join/join_common.h"
+#include "cej/plan/cost_model.h"
+
+namespace cej::plan {
+
+/// The chosen physical access path for the vector side of an E-join.
+enum class AccessPath {
+  kScan,   ///< Tensor join over the (pre-filtered) scan.
+  kProbe,  ///< Per-tuple probes into a prebuilt vector index.
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// Inputs to the decision.
+struct AccessPathQuery {
+  size_t left_rows = 0;        ///< |R| after its own filters.
+  size_t right_rows = 0;       ///< |S| before filtering (index size).
+  double right_selectivity = 1.0;  ///< Fraction of S passing pre-filters.
+  join::JoinCondition condition;
+  bool index_available = true;
+};
+
+/// The decision with both estimated costs (for explainability).
+struct AccessPathDecision {
+  AccessPath path;
+  double scan_cost;
+  double probe_cost;
+};
+
+/// Picks the cheaper access path under `params`.
+///
+/// Scan cost shrinks with selectivity (the tensor join computes only over
+/// qualifying S tuples); probe cost does not (pre-filtering still pays the
+/// traversal), and range conditions inflate the effective beam the way
+/// Figure 17 reports.
+AccessPathDecision ChooseAccessPath(const AccessPathQuery& query,
+                                    const CostParams& params);
+
+}  // namespace cej::plan
+
+#endif  // CEJ_PLAN_ACCESS_PATH_H_

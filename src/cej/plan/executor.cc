@@ -1,0 +1,269 @@
+#include "cej/plan/executor.h"
+
+#include <algorithm>
+
+#include "cej/common/macros.h"
+#include "cej/join/index_join.h"
+#include "cej/join/nlj_naive.h"
+#include "cej/join/tensor_join.h"
+
+namespace cej::plan {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::Relation;
+using storage::Schema;
+
+// The probe-eligible right-subtree pattern: Embed -> [Select ->] Scan.
+struct ProbePattern {
+  bool matches = false;
+  const LogicalNode* embed = nullptr;
+  const LogicalNode* select = nullptr;  // May be null.
+  const LogicalNode* scan = nullptr;
+};
+
+ProbePattern MatchProbePattern(const NodePtr& node) {
+  ProbePattern p;
+  if (node->kind != NodeKind::kEmbed) return p;
+  p.embed = node.get();
+  const LogicalNode* below = node->child.get();
+  if (below->kind == NodeKind::kSelect) {
+    p.select = below;
+    below = below->child.get();
+  }
+  if (below->kind != NodeKind::kScan) return p;
+  p.scan = below;
+  p.matches = true;
+  return p;
+}
+
+// Assembles the EJoin output relation from matched pairs.
+Result<Relation> MaterializeJoinOutput(const Schema& output_schema,
+                                       const Relation& left,
+                                       const Relation& right,
+                                       const std::vector<join::JoinPair>& pairs) {
+  std::vector<uint32_t> left_rows, right_rows;
+  std::vector<double> sims;
+  left_rows.reserve(pairs.size());
+  right_rows.reserve(pairs.size());
+  sims.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    left_rows.push_back(p.left);
+    right_rows.push_back(p.right);
+    sims.push_back(static_cast<double>(p.similarity));
+  }
+  std::vector<Column> columns;
+  columns.reserve(output_schema.num_fields());
+  for (size_t i = 0; i < left.num_columns(); ++i) {
+    columns.push_back(left.column(i).Gather(left_rows));
+  }
+  for (size_t i = 0; i < right.num_columns(); ++i) {
+    columns.push_back(right.column(i).Gather(right_rows));
+  }
+  columns.push_back(Column::Double(std::move(sims)));
+  return Relation::Create(output_schema, std::move(columns));
+}
+
+class PlanExecutor {
+ public:
+  PlanExecutor(const ExecContext& context, ExecStats* stats)
+      : context_(context), stats_(stats) {}
+
+  Result<Relation> Run(const NodePtr& node) {
+    switch (node->kind) {
+      case NodeKind::kScan:
+        return *node->relation;
+      case NodeKind::kSelect: {
+        CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+        CEJ_ASSIGN_OR_RETURN(std::vector<uint32_t> rows,
+                             expr::Filter(input, node->predicate));
+        return input.Take(rows);
+      }
+      case NodeKind::kEmbed:
+        return RunEmbed(node);
+      case NodeKind::kEJoin:
+        return RunEJoin(node);
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  Result<Relation> RunEmbed(const NodePtr& node) {
+    CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+    CEJ_ASSIGN_OR_RETURN(const Column* col,
+                         input.ColumnByName(node->input_column));
+    if (col->type() != DataType::kString) {
+      return Status::InvalidArgument("Embed: column '" + node->input_column +
+                                     "' is not a string column");
+    }
+    la::Matrix embedded = node->model->EmbedBatch(col->string_values());
+    if (stats_ != nullptr) stats_->model_calls += embedded.rows();
+    return input.WithColumn(
+        Field{node->output_column, DataType::kVector, node->model->dim()},
+        Column::Vector(std::move(embedded)));
+  }
+
+  Result<Relation> RunEJoin(const NodePtr& node) {
+    CEJ_ASSIGN_OR_RETURN(Schema output_schema, OutputSchema(node));
+    CEJ_ASSIGN_OR_RETURN(Relation left, Run(node->left));
+    CEJ_ASSIGN_OR_RETURN(const Column* left_key,
+                         left.ColumnByName(node->left_key));
+
+    // String-key join: the un-rewritten (naive) physical form.
+    if (left_key->type() == DataType::kString) {
+      if (node->condition.kind != join::JoinCondition::Kind::kThreshold) {
+        return Status::Unimplemented(
+            "naive string-key EJoin supports only threshold conditions; "
+            "run plan::Optimize to enable top-k");
+      }
+      CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
+      CEJ_ASSIGN_OR_RETURN(const Column* right_key,
+                           right.ColumnByName(node->right_key));
+      join::JoinOptions options;
+      options.pool = context_.pool;
+      options.simd = context_.simd;
+      CEJ_ASSIGN_OR_RETURN(
+          join::JoinResult joined,
+          join::NaiveNljJoin(left_key->string_values(),
+                             right_key->string_values(), *node->model,
+                             node->condition.threshold, options));
+      if (stats_ != nullptr) stats_->model_calls += joined.stats.model_calls;
+      return MaterializeJoinOutput(output_schema, left, right, joined.pairs);
+    }
+
+    // Vector-key join: access-path selection between scan and probe.
+    const ProbePattern pattern = MatchProbePattern(node->right);
+    const index::VectorIndex* idx = nullptr;
+    if (pattern.matches) {
+      auto it = context_.indexes.find(pattern.scan->table_name + "." +
+                                      pattern.embed->output_column);
+      if (it != context_.indexes.end()) idx = it->second;
+    }
+
+    index::FilterBitmap bitmap;
+    double right_selectivity = 1.0;
+    size_t base_rows = 0;
+    if (idx != nullptr) {
+      const Relation& base = *pattern.scan->relation;
+      base_rows = base.num_rows();
+      if (idx->size() != base_rows) {
+        return Status::InvalidArgument(
+            "EJoin: registered index size does not match base table '" +
+            pattern.scan->table_name + "'");
+      }
+      bitmap.assign(base_rows, 1);
+      if (pattern.select != nullptr) {
+        CEJ_RETURN_IF_ERROR(
+            pattern.select->predicate->Validate(base.schema()));
+        std::fill(bitmap.begin(), bitmap.end(), 0);
+        std::vector<uint32_t> rows;
+        pattern.select->predicate->Eval(base, &rows);
+        for (uint32_t r : rows) bitmap[r] = 1;
+        right_selectivity = base_rows == 0
+                                ? 0.0
+                                : static_cast<double>(rows.size()) /
+                                      static_cast<double>(base_rows);
+      }
+    }
+
+    AccessPathQuery query;
+    query.left_rows = left.num_rows();
+    query.right_rows = base_rows;
+    query.right_selectivity = right_selectivity;
+    query.condition = node->condition;
+    query.index_available = idx != nullptr;
+    AccessPathDecision decision =
+        ChooseAccessPath(query, context_.cost_params);
+    if (context_.force_scan) decision.path = AccessPath::kScan;
+    if (context_.force_probe && idx != nullptr) {
+      decision.path = AccessPath::kProbe;
+    }
+    if (stats_ != nullptr) {
+      stats_->join_access_path = decision.path;
+      stats_->scan_cost_estimate = decision.scan_cost;
+      stats_->probe_cost_estimate = decision.probe_cost;
+    }
+
+    if (decision.path == AccessPath::kProbe && idx != nullptr) {
+      return RunProbeJoin(node, output_schema, left, *left_key, *idx,
+                          bitmap, pattern);
+    }
+    return RunScanJoin(node, output_schema, left, *left_key);
+  }
+
+  Result<Relation> RunScanJoin(const NodePtr& node,
+                               const Schema& output_schema,
+                               const Relation& left,
+                               const Column& left_key) {
+    CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
+    CEJ_ASSIGN_OR_RETURN(const Column* right_key,
+                         right.ColumnByName(node->right_key));
+    if (right_key->type() != DataType::kVector) {
+      return Status::InvalidArgument("EJoin: right key is not a vector");
+    }
+    join::TensorJoinOptions options;
+    options.pool = context_.pool;
+    options.simd = context_.simd;
+    CEJ_ASSIGN_OR_RETURN(
+        join::JoinResult joined,
+        join::TensorJoinMatrices(left_key.vector_values(),
+                                 right_key->vector_values(), node->condition,
+                                 options));
+    return MaterializeJoinOutput(output_schema, left, right, joined.pairs);
+  }
+
+  Result<Relation> RunProbeJoin(const NodePtr& node,
+                                const Schema& output_schema,
+                                const Relation& left, const Column& left_key,
+                                const index::VectorIndex& idx,
+                                const index::FilterBitmap& bitmap,
+                                const ProbePattern& pattern) {
+    join::IndexJoinOptions options;
+    options.pool = context_.pool;
+    options.simd = context_.simd;
+    options.filter = &bitmap;
+    CEJ_ASSIGN_OR_RETURN(join::JoinResult joined,
+                         join::IndexJoin(left_key.vector_values(), idx,
+                                         node->condition, options));
+    // Probe ids address base-table rows; materialize the right side as
+    // base-relation + embedding column so the output schema matches the
+    // scan path's.
+    CEJ_ASSIGN_OR_RETURN(Relation right_base, RunEmbedOverBase(pattern));
+    return MaterializeJoinOutput(output_schema, left, right_base,
+                                 joined.pairs);
+  }
+
+  // Materializes Embed(Scan) for the probe path's output (no Select: probe
+  // ids are base-table positions). The embedding column already lives in
+  // the index's table; recomputing it here keeps the executor simple at the
+  // cost of |S| model calls, acceptable because probe plans are chosen for
+  // small result materializations.
+  Result<Relation> RunEmbedOverBase(const ProbePattern& pattern) {
+    const Relation& base = *pattern.scan->relation;
+    CEJ_ASSIGN_OR_RETURN(const Column* col,
+                         base.ColumnByName(pattern.embed->input_column));
+    la::Matrix embedded =
+        pattern.embed->model->EmbedBatch(col->string_values());
+    if (stats_ != nullptr) stats_->model_calls += embedded.rows();
+    return base.WithColumn(
+        Field{pattern.embed->output_column, DataType::kVector,
+              pattern.embed->model->dim()},
+        Column::Vector(std::move(embedded)));
+  }
+
+  const ExecContext& context_;
+  ExecStats* stats_;
+};
+
+}  // namespace
+
+Result<Relation> Execute(const NodePtr& plan, const ExecContext& context,
+                         ExecStats* stats) {
+  CEJ_CHECK(plan != nullptr);
+  PlanExecutor executor(context, stats);
+  return executor.Run(plan);
+}
+
+}  // namespace cej::plan

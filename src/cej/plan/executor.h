@@ -1,0 +1,57 @@
+// Physical planning and execution of logical plans.
+//
+// The executor materializes bottom-up. For EJoin it performs access-path
+// selection (Section VI.E): when the right subtree is an
+// Embed([Select(]Scan[)]) pipeline and a prebuilt vector index is
+// registered for that table/column, the cost model chooses between the
+// pre-filtered tensor-join scan and pre-filtered index probes; otherwise it
+// runs the scan path. String-key joins (un-rewritten plans) execute the
+// naive NLJ — deliberately, so un-optimized plans behave like Figure 8's
+// baseline. Run plan::Optimize first for production behaviour.
+
+#ifndef CEJ_PLAN_EXECUTOR_H_
+#define CEJ_PLAN_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
+#include "cej/index/vector_index.h"
+#include "cej/plan/access_path.h"
+#include "cej/plan/cost_model.h"
+#include "cej/plan/logical_plan.h"
+
+namespace cej::plan {
+
+/// Execution environment.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  la::SimdMode simd = la::SimdMode::kAuto;
+  CostParams cost_params;
+  /// Prebuilt vector indexes keyed by "<table>.<embed_output_column>".
+  /// An index must cover the *base table* rows of its Scan.
+  std::unordered_map<std::string, const index::VectorIndex*> indexes;
+  /// Access-path override for experiments: kScan/kProbe forced when set.
+  bool force_scan = false;
+  bool force_probe = false;
+};
+
+/// Post-execution diagnostics.
+struct ExecStats {
+  AccessPath join_access_path = AccessPath::kScan;
+  double scan_cost_estimate = 0.0;
+  double probe_cost_estimate = 0.0;
+  uint64_t model_calls = 0;
+};
+
+/// Executes `plan`, returning the materialized result relation.
+/// EJoin output rows: all left fields, all right fields (collisions
+/// prefixed "right_"), plus "similarity".
+Result<storage::Relation> Execute(const NodePtr& plan,
+                                  const ExecContext& context,
+                                  ExecStats* stats = nullptr);
+
+}  // namespace cej::plan
+
+#endif  // CEJ_PLAN_EXECUTOR_H_

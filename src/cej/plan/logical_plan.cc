@@ -1,0 +1,168 @@
+#include "cej/plan/logical_plan.h"
+
+#include <unordered_set>
+
+#include "cej/common/macros.h"
+
+namespace cej::plan {
+namespace {
+
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+
+std::shared_ptr<LogicalNode> NewNode(NodeKind kind) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = kind;
+  return node;
+}
+
+void AppendIndented(const NodePtr& node, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  switch (node->kind) {
+    case NodeKind::kScan:
+      out->append("Scan(" + node->table_name + ")\n");
+      return;
+    case NodeKind::kSelect:
+      out->append("Select\n");
+      AppendIndented(node->child, depth + 1, out);
+      return;
+    case NodeKind::kEmbed:
+      out->append("Embed(" + node->input_column + " -> " +
+                  node->output_column + ")\n");
+      AppendIndented(node->child, depth + 1, out);
+      return;
+    case NodeKind::kEJoin: {
+      const char* cond =
+          node->condition.kind == join::JoinCondition::Kind::kThreshold
+              ? "threshold"
+              : "top-k";
+      out->append("EJoin(" + node->left_key + " ~ " + node->right_key +
+                  ", " + cond +
+                  (node->model != nullptr ? ", model-in-operator" : "") +
+                  ")\n");
+      AppendIndented(node->left, depth + 1, out);
+      AppendIndented(node->right, depth + 1, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+NodePtr Scan(std::string table_name,
+             std::shared_ptr<const storage::Relation> relation) {
+  CEJ_CHECK(relation != nullptr);
+  auto node = NewNode(NodeKind::kScan);
+  node->table_name = std::move(table_name);
+  node->relation = std::move(relation);
+  return node;
+}
+
+NodePtr Select(NodePtr child, expr::PredicatePtr predicate) {
+  CEJ_CHECK(child != nullptr && predicate != nullptr);
+  auto node = NewNode(NodeKind::kSelect);
+  node->child = std::move(child);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+NodePtr Embed(NodePtr child, std::string input_column,
+              const model::EmbeddingModel* model,
+              std::string output_column) {
+  CEJ_CHECK(child != nullptr && model != nullptr);
+  auto node = NewNode(NodeKind::kEmbed);
+  node->child = std::move(child);
+  node->input_column = std::move(input_column);
+  node->model = model;
+  node->output_column = std::move(output_column);
+  return node;
+}
+
+NodePtr EJoin(NodePtr left, NodePtr right, std::string left_key,
+              std::string right_key, const model::EmbeddingModel* model,
+              join::JoinCondition condition) {
+  CEJ_CHECK(left != nullptr && right != nullptr);
+  auto node = NewNode(NodeKind::kEJoin);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->left_key = std::move(left_key);
+  node->right_key = std::move(right_key);
+  node->model = model;
+  node->condition = condition;
+  return node;
+}
+
+Result<Schema> OutputSchema(const NodePtr& node) {
+  CEJ_CHECK(node != nullptr);
+  switch (node->kind) {
+    case NodeKind::kScan:
+      return node->relation->schema();
+    case NodeKind::kSelect: {
+      CEJ_ASSIGN_OR_RETURN(Schema schema, OutputSchema(node->child));
+      CEJ_RETURN_IF_ERROR(node->predicate->Validate(schema));
+      return schema;
+    }
+    case NodeKind::kEmbed: {
+      CEJ_ASSIGN_OR_RETURN(Schema schema, OutputSchema(node->child));
+      CEJ_ASSIGN_OR_RETURN(size_t idx,
+                           schema.FieldIndex(node->input_column));
+      if (schema.field(idx).type != DataType::kString) {
+        return Status::InvalidArgument(
+            "Embed: input column '" + node->input_column +
+            "' must be a string column");
+      }
+      std::vector<Field> fields = schema.fields();
+      fields.push_back(Field{node->output_column, DataType::kVector,
+                             node->model->dim()});
+      return Schema::Create(std::move(fields));
+    }
+    case NodeKind::kEJoin: {
+      CEJ_ASSIGN_OR_RETURN(Schema left, OutputSchema(node->left));
+      CEJ_ASSIGN_OR_RETURN(Schema right, OutputSchema(node->right));
+      // Key validation: both string (model attached) or both vector with
+      // equal dim.
+      CEJ_ASSIGN_OR_RETURN(size_t li, left.FieldIndex(node->left_key));
+      CEJ_ASSIGN_OR_RETURN(size_t ri, right.FieldIndex(node->right_key));
+      const Field& lf = left.field(li);
+      const Field& rf = right.field(ri);
+      if (lf.type == DataType::kString && rf.type == DataType::kString) {
+        if (node->model == nullptr) {
+          return Status::InvalidArgument(
+              "EJoin over string keys requires an embedding model");
+        }
+      } else if (lf.type == DataType::kVector &&
+                 rf.type == DataType::kVector) {
+        if (lf.vector_dim != rf.vector_dim) {
+          return Status::InvalidArgument(
+              "EJoin: key vector dimensionality mismatch");
+        }
+      } else {
+        return Status::InvalidArgument(
+            "EJoin keys must both be strings or both be vectors");
+      }
+      std::vector<Field> fields = left.fields();
+      std::unordered_set<std::string> names;
+      for (const auto& f : fields) names.insert(f.name);
+      for (const auto& f : right.fields()) {
+        Field out = f;
+        while (names.count(out.name) > 0) out.name = "right_" + out.name;
+        names.insert(out.name);
+        fields.push_back(std::move(out));
+      }
+      Field sim{"similarity", DataType::kDouble, 0};
+      while (names.count(sim.name) > 0) sim.name = "_" + sim.name;
+      fields.push_back(std::move(sim));
+      return Schema::Create(std::move(fields));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string PlanToString(const NodePtr& node) {
+  std::string out;
+  AppendIndented(node, 0, &out);
+  return out;
+}
+
+}  // namespace cej::plan

@@ -1,0 +1,92 @@
+// Logical algebra for hybrid vector-relational plans (paper Section III.C).
+//
+// The extension over classical relational algebra is exactly two things:
+//   Embed  — E_mu(R): maps a string column into a vector column using a
+//            model mu (a domain-changing projection).
+//   EJoin  — R ⋈_{E,mu,theta} S: theta-join whose condition is a similarity
+//            expression over embedded keys.
+//
+// A join may be expressed directly over *string* keys with a model attached
+// (the declarative form a user writes); the PrefetchEmbeddings rewrite then
+// applies the E-theta-Join equivalence
+//   R ⋈_{E,mu,theta} S  <=>  E_mu(R) ⋈_theta E_mu(S)
+// to hoist the embedding out of the operator, and SelectionPushdown moves
+// relational predicates below the (expensive) Embed.
+
+#ifndef CEJ_PLAN_LOGICAL_PLAN_H_
+#define CEJ_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+
+#include "cej/common/status.h"
+#include "cej/expr/predicate.h"
+#include "cej/join/join_common.h"
+#include "cej/model/embedding_model.h"
+#include "cej/storage/relation.h"
+
+namespace cej::plan {
+
+/// Logical operator kinds.
+enum class NodeKind { kScan, kSelect, kEmbed, kEJoin };
+
+struct LogicalNode;
+using NodePtr = std::shared_ptr<const LogicalNode>;
+
+/// One logical operator. Immutable; rewrites build new trees.
+struct LogicalNode {
+  NodeKind kind;
+
+  // kScan
+  std::string table_name;
+  std::shared_ptr<const storage::Relation> relation;
+
+  // kSelect
+  expr::PredicatePtr predicate;
+
+  // kEmbed: input_column (string) -> output_column (vector of model->dim()).
+  std::string input_column;
+  std::string output_column;
+  const model::EmbeddingModel* model = nullptr;  // Not owned.
+
+  // kEJoin: key columns may be string (model required: embedding happens
+  // inside the operator — the naive form) or vector (embedding already
+  // hoisted by the prefetch rewrite).
+  std::string left_key;
+  std::string right_key;
+  join::JoinCondition condition;
+
+  // Children.
+  NodePtr child;  // kSelect, kEmbed
+  NodePtr left;   // kEJoin
+  NodePtr right;  // kEJoin
+};
+
+/// Leaf: scan of a named base table.
+NodePtr Scan(std::string table_name,
+             std::shared_ptr<const storage::Relation> relation);
+
+/// sigma_theta(child).
+NodePtr Select(NodePtr child, expr::PredicatePtr predicate);
+
+/// E_mu(child): appends `output_column` = mu(input_column).
+NodePtr Embed(NodePtr child, std::string input_column,
+              const model::EmbeddingModel* model, std::string output_column);
+
+/// left ⋈_{E,mu,theta} right over the named key columns. `model` is
+/// required when the keys are string columns and ignored for vector keys.
+NodePtr EJoin(NodePtr left, NodePtr right, std::string left_key,
+              std::string right_key, const model::EmbeddingModel* model,
+              join::JoinCondition condition);
+
+/// The output schema a node produces, or an error for ill-formed plans.
+/// EJoin output: left fields, right fields (renamed `right_<name>` on
+/// collision), then a double field "similarity".
+Result<storage::Schema> OutputSchema(const NodePtr& node);
+
+/// Multi-line plan rendering for EXPLAIN-style debugging.
+std::string PlanToString(const NodePtr& node);
+
+}  // namespace cej::plan
+
+#endif  // CEJ_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,35 @@
+// Logical rewrite rules (paper Sections III.C and IV).
+//
+// Two rules carry the paper's logical optimization story:
+//
+//  1. SelectionPushdown — the E-Selection equivalence
+//       sigma_theta(E_mu(R)) <=> E_mu(sigma_thetaR(R))
+//     relational predicates move below Embed, so only qualifying tuples pay
+//     the model cost M.
+//
+//  2. PrefetchEmbeddings — the E-theta-Join equivalence
+//       R ⋈_{E,mu,theta} S <=> E_mu(R) ⋈_theta E_mu(S)
+//     a join over string keys with the model inside the operator (|R|*|S|
+//     model accesses) becomes a join over prefetched embeddings
+//     (|R| + |S| model accesses) — the Figure 8 optimization.
+
+#ifndef CEJ_PLAN_REWRITE_H_
+#define CEJ_PLAN_REWRITE_H_
+
+#include "cej/plan/logical_plan.h"
+
+namespace cej::plan {
+
+/// Pushes Select below Embed wherever the predicate does not reference the
+/// embedding output column. Applied bottom-up to a fixpoint.
+NodePtr ApplySelectionPushdown(const NodePtr& node);
+
+/// Rewrites every string-key EJoin into Embed + vector-key EJoin.
+NodePtr ApplyPrefetchEmbeddings(const NodePtr& node);
+
+/// The default rule pipeline (pushdown, then prefetch).
+NodePtr Optimize(const NodePtr& node);
+
+}  // namespace cej::plan
+
+#endif  // CEJ_PLAN_REWRITE_H_

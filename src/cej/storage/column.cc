@@ -1,0 +1,97 @@
+#include "cej/storage/column.h"
+
+#include <cstring>
+
+namespace cej::storage {
+
+Column Column::Int64(std::vector<int64_t> values) {
+  Column c(DataType::kInt64);
+  c.int64_ = std::move(values);
+  return c;
+}
+
+Column Column::Double(std::vector<double> values) {
+  Column c(DataType::kDouble);
+  c.double_ = std::move(values);
+  return c;
+}
+
+Column Column::String(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.string_ = std::move(values);
+  return c;
+}
+
+Column Column::Date(std::vector<int32_t> values) {
+  Column c(DataType::kDate);
+  c.date_ = std::move(values);
+  return c;
+}
+
+Column Column::Vector(la::Matrix values) {
+  Column c(DataType::kVector);
+  c.matrix_ = std::move(values);
+  return c;
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return int64_.size();
+    case DataType::kDouble:
+      return double_.size();
+    case DataType::kString:
+      return string_.size();
+    case DataType::kDate:
+      return date_.size();
+    case DataType::kVector:
+      return matrix_.rows();
+  }
+  return 0;
+}
+
+size_t Column::vector_dim() const {
+  return type_ == DataType::kVector ? matrix_.cols() : 0;
+}
+
+Column Column::Gather(const std::vector<uint32_t>& rows) const {
+  switch (type_) {
+    case DataType::kInt64: {
+      std::vector<int64_t> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(int64_.at(r));
+      return Int64(std::move(out));
+    }
+    case DataType::kDouble: {
+      std::vector<double> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(double_.at(r));
+      return Double(std::move(out));
+    }
+    case DataType::kString: {
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(string_.at(r));
+      return String(std::move(out));
+    }
+    case DataType::kDate: {
+      std::vector<int32_t> out;
+      out.reserve(rows.size());
+      for (uint32_t r : rows) out.push_back(date_.at(r));
+      return Date(std::move(out));
+    }
+    case DataType::kVector: {
+      la::Matrix out(rows.size(), matrix_.cols());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        CEJ_CHECK(rows[i] < matrix_.rows());
+        std::memcpy(out.Row(i), matrix_.Row(rows[i]),
+                    matrix_.cols() * sizeof(float));
+      }
+      return Vector(std::move(out));
+    }
+  }
+  CEJ_CHECK(false);
+  return Int64({});
+}
+
+}  // namespace cej::storage

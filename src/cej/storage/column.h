@@ -1,0 +1,82 @@
+// Typed columnar storage.
+
+#ifndef CEJ_STORAGE_COLUMN_H_
+#define CEJ_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cej/common/macros.h"
+#include "cej/la/matrix.h"
+#include "cej/storage/schema.h"
+
+namespace cej::storage {
+
+/// A single column of values, type-tagged. Columns are immutable once
+/// built; Relation shares them via shared_ptr.
+class Column {
+ public:
+  static Column Int64(std::vector<int64_t> values);
+  static Column Double(std::vector<double> values);
+  static Column String(std::vector<std::string> values);
+  /// Dates are days since the Unix epoch.
+  static Column Date(std::vector<int32_t> values);
+  /// Takes ownership of a rows x dim embedding matrix (one row per tuple).
+  static Column Vector(la::Matrix values);
+
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  /// Embedding dimensionality; 0 for non-vector columns.
+  size_t vector_dim() const;
+
+  // Typed accessors: calling the wrong one is a programming error.
+  const std::vector<int64_t>& int64_values() const {
+    CEJ_CHECK(type_ == DataType::kInt64);
+    return int64_;
+  }
+  const std::vector<double>& double_values() const {
+    CEJ_CHECK(type_ == DataType::kDouble);
+    return double_;
+  }
+  const std::vector<std::string>& string_values() const {
+    CEJ_CHECK(type_ == DataType::kString);
+    return string_;
+  }
+  const std::vector<int32_t>& date_values() const {
+    CEJ_CHECK(type_ == DataType::kDate);
+    return date_;
+  }
+  const la::Matrix& vector_values() const {
+    CEJ_CHECK(type_ == DataType::kVector);
+    return matrix_;
+  }
+
+  /// Pointer to row `r` of a vector column.
+  const float* VectorAt(size_t r) const {
+    CEJ_CHECK(type_ == DataType::kVector);
+    return matrix_.Row(r);
+  }
+
+  /// Materializes a new column containing rows[i] for each i (gather).
+  Column Gather(const std::vector<uint32_t>& rows) const;
+
+ private:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type_;
+  std::vector<int64_t> int64_;
+  std::vector<double> double_;
+  std::vector<std::string> string_;
+  std::vector<int32_t> date_;
+  la::Matrix matrix_;
+};
+
+}  // namespace cej::storage
+
+#endif  // CEJ_STORAGE_COLUMN_H_

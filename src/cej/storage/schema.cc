@@ -1,0 +1,52 @@
+#include "cej/storage/schema.h"
+
+#include <unordered_set>
+
+namespace cej::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+    case DataType::kVector:
+      return "vector";
+  }
+  return "unknown";
+}
+
+Result<Schema> Schema::Create(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const auto& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema: empty field name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("schema: duplicate field '" + f.name +
+                                     "'");
+    }
+    if (f.type == DataType::kVector && f.vector_dim == 0) {
+      return Status::InvalidArgument("schema: vector field '" + f.name +
+                                     "' needs vector_dim > 0");
+    }
+    if (f.type != DataType::kVector && f.vector_dim != 0) {
+      return Status::InvalidArgument("schema: non-vector field '" + f.name +
+                                     "' must have vector_dim == 0");
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("schema: no field named '" + name + "'");
+}
+
+}  // namespace cej::storage

@@ -1,0 +1,69 @@
+// Relational schema: typed, named fields. Embeddings are first-class
+// atomic values (paper Section IV: "embeddings are not structured data but
+// should be observed and processed atomically by the DBMS"), so kVector is
+// just another column type with a fixed dimensionality.
+
+#ifndef CEJ_STORAGE_SCHEMA_H_
+#define CEJ_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+
+namespace cej::storage {
+
+/// Column data types.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kDate,    ///< Days since 1970-01-01, stored as int32.
+  kVector,  ///< Fixed-dimension float32 embedding.
+};
+
+/// Name of a DataType ("int64", "double", ...).
+const char* DataTypeName(DataType type);
+
+/// A named, typed field. vector_dim is meaningful only for kVector.
+struct Field {
+  std::string name;
+  DataType type;
+  size_t vector_dim = 0;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           vector_dim == other.vector_dim;
+  }
+};
+
+/// Ordered collection of fields with unique names.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate names or a kVector field with
+  /// vector_dim == 0.
+  static Result<Schema> Create(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_.at(i); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  std::vector<Field> fields_;
+};
+
+}  // namespace cej::storage
+
+#endif  // CEJ_STORAGE_SCHEMA_H_

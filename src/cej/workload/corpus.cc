@@ -1,0 +1,197 @@
+#include "cej/workload/corpus.h"
+
+#include <algorithm>
+
+#include "cej/common/macros.h"
+
+namespace cej::workload {
+namespace {
+
+// Random pronounceable-ish lowercase word of length in [5, 9].
+std::string RandomWord(Rng& rng) {
+  static constexpr char kVowels[] = "aeiou";
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";
+  const size_t len = 5 + rng.NextBounded(5);
+  std::string w;
+  w.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (i % 2 == 0) {
+      w.push_back(kConsonants[rng.NextBounded(21)]);
+    } else {
+      w.push_back(kVowels[rng.NextBounded(5)]);
+    }
+  }
+  return w;
+}
+
+// Misspelling: swap two adjacent characters or drop one.
+std::string Misspell(const std::string& base, Rng& rng) {
+  std::string w = base;
+  if (w.size() < 3) return w + "x";
+  if (rng.NextBounded(2) == 0) {
+    const size_t p = 1 + rng.NextBounded(w.size() - 2);
+    std::swap(w[p], w[p + 1]);
+  } else {
+    const size_t p = 1 + rng.NextBounded(w.size() - 2);
+    w.erase(p, 1);
+  }
+  return w;
+}
+
+// Tense / plural style variant.
+std::string Variant(const std::string& base, size_t which) {
+  static constexpr const char* kSuffixes[] = {"s", "ed", "ing", "er"};
+  return base + kSuffixes[which % 4];
+}
+
+}  // namespace
+
+Corpus::Corpus(CorpusOptions options) : options_(options) {
+  Rng rng(options_.seed);
+  BuildGeneratedFamilies(rng);
+  FinishConstruction();
+}
+
+Corpus::Corpus(CorpusOptions options,
+               std::vector<std::vector<std::string>> explicit_families)
+    : options_(options), families_(std::move(explicit_families)) {
+  CEJ_CHECK(!families_.empty());
+  FinishConstruction();
+}
+
+void Corpus::BuildGeneratedFamilies(Rng& rng) {
+  CEJ_CHECK(options_.variants_per_family >= 1);
+  families_.reserve(options_.num_families);
+  for (size_t f = 0; f < options_.num_families; ++f) {
+    std::vector<std::string> family;
+    const std::string base = RandomWord(rng);
+    family.push_back(base);
+    size_t variant_idx = 0;
+    while (family.size() < options_.variants_per_family) {
+      std::string candidate;
+      switch (rng.NextBounded(3)) {
+        case 0:
+          candidate = Misspell(base, rng);
+          break;
+        case 1:
+          candidate = Variant(base, variant_idx++);
+          break;
+        default:
+          // Synonym with unrelated surface form ("bbq" ~ "barbecue").
+          candidate = RandomWord(rng);
+          break;
+      }
+      if (std::find(family.begin(), family.end(), candidate) ==
+          family.end()) {
+        family.push_back(std::move(candidate));
+      }
+    }
+    families_.push_back(std::move(family));
+  }
+}
+
+void Corpus::FinishConstruction() {
+  // De-duplicate across families: a surface form may only mean one thing.
+  for (size_t f = 0; f < families_.size(); ++f) {
+    auto& family = families_[f];
+    family.erase(std::remove_if(family.begin(), family.end(),
+                                [&](const std::string& w) {
+                                  return family_of_.count(w) > 0;
+                                }),
+                 family.end());
+    CEJ_CHECK(!family.empty());
+    for (const auto& w : family) {
+      family_of_.emplace(w, static_cast<int64_t>(f));
+      words_.push_back(w);
+    }
+  }
+  // Noise vocabulary (disjoint from family words).
+  Rng rng(options_.seed ^ 0xabcdefULL);
+  while (noise_words_.size() < options_.num_noise_words) {
+    std::string w = RandomWord(rng);
+    if (family_of_.count(w) == 0) {
+      family_of_.emplace(w, -1);
+      noise_words_.push_back(w);
+      words_.push_back(std::move(w));
+    }
+  }
+  // Context vocabulary: 4 dedicated context words per family.
+  family_contexts_.resize(families_.size());
+  for (auto& ctx : family_contexts_) {
+    for (int i = 0; i < 4; ++i) {
+      std::string w = RandomWord(rng);
+      // Context words may collide with noise words harmlessly, but keep
+      // them out of families so ground truth stays exact.
+      while (family_of_.count(w) > 0 && family_of_.at(w) >= 0) {
+        w = RandomWord(rng);
+      }
+      ctx.push_back(std::move(w));
+    }
+  }
+}
+
+int64_t Corpus::FamilyOf(const std::string& word) const {
+  auto it = family_of_.find(word);
+  return it == family_of_.end() ? -1 : it->second;
+}
+
+bool Corpus::SameFamily(const std::string& a, const std::string& b) const {
+  const int64_t fa = FamilyOf(a);
+  return fa >= 0 && fa == FamilyOf(b);
+}
+
+model::ConceptLexicon Corpus::MakeLexicon() const {
+  model::ConceptLexicon lexicon;
+  for (size_t f = 0; f < families_.size(); ++f) {
+    for (const auto& w : families_[f]) {
+      lexicon.Add(w, static_cast<uint32_t>(f));
+    }
+  }
+  return lexicon;
+}
+
+std::vector<std::string> Corpus::GenerateTokenStream(size_t num_sentences,
+                                                     uint64_t seed) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(num_sentences * 5);
+  Rng rng(seed);
+  for (size_t s = 0; s < num_sentences; ++s) {
+    const size_t f = rng.NextBounded(families_.size());
+    const auto& family = families_[f];
+    const auto& ctx = family_contexts_[f];
+    // [ctx ctx member ctx ctx] — member position varies by context draw.
+    tokens.push_back(ctx[rng.NextBounded(ctx.size())]);
+    tokens.push_back(ctx[rng.NextBounded(ctx.size())]);
+    tokens.push_back(family[rng.NextBounded(family.size())]);
+    tokens.push_back(ctx[rng.NextBounded(ctx.size())]);
+    // Occasional noise word keeps negatives trained.
+    if (!noise_words_.empty() && rng.NextBounded(4) == 0) {
+      tokens.push_back(noise_words_[rng.NextBounded(noise_words_.size())]);
+    } else {
+      tokens.push_back(ctx[rng.NextBounded(ctx.size())]);
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> Corpus::SampleWords(size_t n,
+                                             double family_fraction,
+                                             uint64_t seed) const {
+  CEJ_CHECK(family_fraction >= 0.0 && family_fraction <= 1.0);
+  std::vector<std::string> out;
+  out.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool from_family =
+        noise_words_.empty() || rng.NextDouble() < family_fraction;
+    if (from_family) {
+      const auto& family = families_[rng.NextBounded(families_.size())];
+      out.push_back(family[rng.NextBounded(family.size())]);
+    } else {
+      out.push_back(noise_words_[rng.NextBounded(noise_words_.size())]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cej::workload

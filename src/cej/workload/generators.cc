@@ -1,0 +1,115 @@
+#include "cej/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cej/common/macros.h"
+#include "cej/common/rng.h"
+#include "cej/la/vector_ops.h"
+
+namespace cej::workload {
+
+la::Matrix RandomUnitVectors(size_t n, size_t dim, uint64_t seed) {
+  CEJ_CHECK(dim > 0);
+  la::Matrix out(n, dim);
+  Rng rng(seed);
+  for (size_t r = 0; r < n; ++r) {
+    float* row = out.Row(r);
+    for (size_t c = 0; c < dim; ++c) {
+      row[c] = static_cast<float>(rng.NextGaussian());
+    }
+    la::NormalizeInPlace(row, dim);
+    // Degenerate all-zero draws are astronomically unlikely but handled:
+    if (la::L2Norm(row, dim) == 0.0f) row[0] = 1.0f;
+  }
+  return out;
+}
+
+std::vector<int64_t> UniformInt64(size_t n, int64_t lo, int64_t hi,
+                                  uint64_t seed) {
+  CEJ_CHECK(lo <= hi);
+  std::vector<int64_t> out(n);
+  Rng rng(seed);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  for (auto& v : out) {
+    v = lo + static_cast<int64_t>(rng.NextBounded(span));
+  }
+  return out;
+}
+
+std::vector<int32_t> UniformDates(size_t n, int32_t lo, int32_t hi,
+                                  uint64_t seed) {
+  CEJ_CHECK(lo <= hi);
+  std::vector<int32_t> out(n);
+  Rng rng(seed);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  for (auto& v : out) {
+    v = lo + static_cast<int32_t>(rng.NextBounded(span));
+  }
+  return out;
+}
+
+std::vector<std::string> RandomStrings(size_t n, size_t len_lo,
+                                       size_t len_hi, uint64_t seed) {
+  CEJ_CHECK(len_lo > 0 && len_lo <= len_hi);
+  std::vector<std::string> out;
+  out.reserve(n);
+  Rng rng(seed);
+  const size_t span = len_hi - len_lo + 1;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = len_lo + rng.NextBounded(span);
+    std::string s(len, 'a');
+    for (auto& ch : s) {
+      ch = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<int64_t> SelectivityColumn(size_t n, uint64_t seed) {
+  return UniformInt64(n, 0, 99, seed);
+}
+
+std::vector<uint8_t> ExactSelectivityBitmap(size_t n, double selectivity_pct,
+                                            uint64_t seed) {
+  CEJ_CHECK(selectivity_pct >= 0.0 && selectivity_pct <= 100.0);
+  std::vector<uint8_t> bitmap(n, 0);
+  const size_t ones = static_cast<size_t>(
+      std::llround(static_cast<double>(n) * selectivity_pct / 100.0));
+  // Fisher-Yates over indices: set the first `ones` of a random permutation.
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  Rng rng(seed);
+  for (size_t i = 0; i < ones && i + 1 < n; ++i) {
+    const size_t j = i + rng.NextBounded(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  for (size_t i = 0; i < ones; ++i) bitmap[idx[i]] = 1;
+  return bitmap;
+}
+
+std::vector<uint32_t> ZipfRanks(size_t n, size_t n_items, double theta,
+                                uint64_t seed) {
+  CEJ_CHECK(n_items > 0);
+  CEJ_CHECK(theta >= 0.0);
+  // Precompute the CDF; n_items is small (vocabulary-scale) in practice.
+  std::vector<double> cdf(n_items);
+  double z = 0.0;
+  for (size_t r = 0; r < n_items; ++r) {
+    z += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf[r] = z;
+  }
+  for (auto& v : cdf) v /= z;
+  std::vector<uint32_t> out(n);
+  Rng rng(seed);
+  for (auto& v : out) {
+    const double u = rng.NextDouble();
+    v = static_cast<uint32_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (v >= n_items) v = static_cast<uint32_t>(n_items - 1);
+  }
+  return out;
+}
+
+}  // namespace cej::workload

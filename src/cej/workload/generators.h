@@ -1,0 +1,49 @@
+// Synthetic workload generators. Every generator takes an explicit seed;
+// identical seeds produce identical data (paper: "experiments with
+// synthetic data use the same random number generator seed").
+
+#ifndef CEJ_WORKLOAD_GENERATORS_H_
+#define CEJ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cej/la/matrix.h"
+
+namespace cej::workload {
+
+/// n random unit vectors (rows) of dimension `dim`, i.i.d. Gaussian then
+/// L2-normalized — the standard isotropic embedding workload.
+la::Matrix RandomUnitVectors(size_t n, size_t dim, uint64_t seed);
+
+/// Uniform random integers in [lo, hi].
+std::vector<int64_t> UniformInt64(size_t n, int64_t lo, int64_t hi,
+                                  uint64_t seed);
+
+/// Uniform random dates (days since epoch) in [lo, hi].
+std::vector<int32_t> UniformDates(size_t n, int32_t lo, int32_t hi,
+                                  uint64_t seed);
+
+/// Random lowercase ASCII strings with lengths uniform in [len_lo, len_hi].
+std::vector<std::string> RandomStrings(size_t n, size_t len_lo,
+                                       size_t len_hi, uint64_t seed);
+
+/// A column of uniform values in [0, 100) so that the predicate
+/// `col < s` selects exactly ~s% of rows — the selectivity-control knob of
+/// the Figure 15-17 sweeps.
+std::vector<int64_t> SelectivityColumn(size_t n, uint64_t seed);
+
+/// Bitmap with exactly round(n * selectivity_pct / 100) bits set, at
+/// uniformly random positions.
+std::vector<uint8_t> ExactSelectivityBitmap(size_t n, double selectivity_pct,
+                                            uint64_t seed);
+
+/// Zipf-distributed ranks in [0, n_items): rank r drawn with probability
+/// proportional to 1 / (r+1)^theta.
+std::vector<uint32_t> ZipfRanks(size_t n, size_t n_items, double theta,
+                                uint64_t seed);
+
+}  // namespace cej::workload
+
+#endif  // CEJ_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,384 @@
+// Tests for cej/la: SIMD kernels vs scalar reference, matrix, blocked GEMM
+// vs naive reference, top-k selection. Heavy use of parameterized sweeps
+// over dimensionality and tile shapes.
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cej/common/rng.h"
+#include "cej/common/thread_pool.h"
+#include "cej/la/gemm.h"
+#include "cej/la/matrix.h"
+#include "cej/la/simd.h"
+#include "cej/la/topk.h"
+#include "cej/la/vector_ops.h"
+#include "cej/workload/generators.h"
+
+namespace cej::la {
+namespace {
+
+double ReferenceDot(const float* a, const float* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+std::vector<float> RandomVec(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernels: parameterized over dimensionality (covers remainders of all
+// vector widths: 1..64-lane tails).
+// ---------------------------------------------------------------------------
+
+class DotKernelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DotKernelTest, ScalarMatchesReference) {
+  const size_t dim = GetParam();
+  const auto a = RandomVec(dim, 1);
+  const auto b = RandomVec(dim, 2);
+  const double ref = ReferenceDot(a.data(), b.data(), dim);
+  EXPECT_NEAR(DotScalar(a.data(), b.data(), dim), ref,
+              1e-4 * (1.0 + std::abs(ref)));
+}
+
+TEST_P(DotKernelTest, SimdMatchesScalar) {
+  const size_t dim = GetParam();
+  const auto a = RandomVec(dim, 3);
+  const auto b = RandomVec(dim, 4);
+  const double ref = ReferenceDot(a.data(), b.data(), dim);
+  EXPECT_NEAR(DotSimd(a.data(), b.data(), dim), ref,
+              1e-3 * (1.0 + std::abs(ref)));
+}
+
+TEST_P(DotKernelTest, DispatchedModesAgree) {
+  const size_t dim = GetParam();
+  const auto a = RandomVec(dim, 5);
+  const auto b = RandomVec(dim, 6);
+  const float scalar = Dot(a.data(), b.data(), dim, SimdMode::kForceScalar);
+  const float simd = Dot(a.data(), b.data(), dim, SimdMode::kAuto);
+  EXPECT_NEAR(scalar, simd, 1e-3 * (1.0f + std::abs(scalar)));
+}
+
+TEST_P(DotKernelTest, SquaredNormIsSelfDot) {
+  const size_t dim = GetParam();
+  const auto a = RandomVec(dim, 7);
+  for (SimdMode mode : {SimdMode::kForceScalar, SimdMode::kAuto}) {
+    EXPECT_NEAR(SquaredNorm(a.data(), dim, mode),
+                ReferenceDot(a.data(), a.data(), dim),
+                1e-3 * (1.0 + ReferenceDot(a.data(), a.data(), dim)));
+  }
+}
+
+TEST_P(DotKernelTest, DotOneToManyMatchesRowwiseDots) {
+  const size_t dim = GetParam();
+  constexpr size_t kRows = 13;  // Odd: exercises the 4-row kernel tail.
+  const auto a = RandomVec(dim, 8);
+  la::Matrix b = workload::RandomUnitVectors(kRows, dim, 9);
+  for (SimdMode mode : {SimdMode::kForceScalar, SimdMode::kAuto}) {
+    std::vector<float> out(kRows);
+    DotOneToMany(a.data(), b.data(), kRows, dim, out.data(), mode);
+    for (size_t r = 0; r < kRows; ++r) {
+      const double ref = ReferenceDot(a.data(), b.Row(r), dim);
+      EXPECT_NEAR(out[r], ref, 1e-3 * (1.0 + std::abs(ref)))
+          << "row " << r << " dim " << dim;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DotKernelTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 17, 31,
+                                           32, 33, 63, 64, 100, 128, 256,
+                                           300));
+
+// ---------------------------------------------------------------------------
+// vector_ops
+// ---------------------------------------------------------------------------
+
+TEST(VectorOpsTest, L2NormOfUnitBasis) {
+  std::vector<float> e(8, 0.0f);
+  e[3] = 1.0f;
+  EXPECT_FLOAT_EQ(L2Norm(e.data(), e.size()), 1.0f);
+}
+
+TEST(VectorOpsTest, NormalizeProducesUnitNorm) {
+  auto v = RandomVec(100, 10);
+  NormalizeInPlace(v.data(), v.size());
+  EXPECT_NEAR(L2Norm(v.data(), v.size()), 1.0f, 1e-5f);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  std::vector<float> z(16, 0.0f);
+  NormalizeInPlace(z.data(), z.size());
+  for (float x : z) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(VectorOpsTest, CosineOfParallelVectorsIsOne) {
+  auto v = RandomVec(64, 11);
+  std::vector<float> w(v);
+  for (auto& x : w) x *= 2.5f;  // Same direction, different magnitude.
+  EXPECT_NEAR(CosineSimilarity(v.data(), w.data(), 64), 1.0f, 1e-5f);
+}
+
+TEST(VectorOpsTest, CosineOfOppositeVectorsIsMinusOne) {
+  auto v = RandomVec(64, 12);
+  std::vector<float> w(v);
+  for (auto& x : w) x = -x;
+  EXPECT_NEAR(CosineSimilarity(v.data(), w.data(), 64), -1.0f, 1e-5f);
+}
+
+TEST(VectorOpsTest, CosineOfOrthogonalVectorsIsZero) {
+  std::vector<float> a = {1.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<float> b = {0.0f, 1.0f, 0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), 0.0f);
+}
+
+TEST(VectorOpsTest, CosineWithZeroVectorIsZero) {
+  std::vector<float> a = {1.0f, 2.0f};
+  std::vector<float> z = {0.0f, 0.0f};
+  EXPECT_EQ(CosineSimilarity(a, z), 0.0f);
+}
+
+TEST(VectorOpsTest, CosineEqualsDotForUnitVectors) {
+  auto a = RandomVec(100, 13);
+  auto b = RandomVec(100, 14);
+  NormalizeInPlace(a.data(), a.size());
+  NormalizeInPlace(b.data(), b.size());
+  EXPECT_NEAR(CosineSimilarity(a, b), Dot(a, b), 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, ShapeAndZeroInit) {
+  Matrix m(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 15u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 5; ++c) EXPECT_EQ(m.At(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, RowPointersAreContiguous) {
+  Matrix m(4, 7);
+  EXPECT_EQ(m.Row(1), m.data() + 7);
+  EXPECT_EQ(m.Row(3), m.data() + 21);
+}
+
+TEST(MatrixTest, CloneIsDeep) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 1.0f;
+  Matrix c = m.Clone();
+  c.At(0, 0) = 9.0f;
+  EXPECT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_EQ(c.At(0, 0), 9.0f);
+}
+
+TEST(MatrixTest, NormalizeRowsMakesUnitRows) {
+  Matrix m = workload::RandomUnitVectors(10, 32, 15);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) row[c] *= 3.0f;
+  }
+  m.NormalizeRows();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_NEAR(L2Norm(m.Row(r), m.cols()), 1.0f, 1e-5f);
+  }
+}
+
+TEST(MatrixTest, NormalizeRowsSkipsZeroRows) {
+  Matrix m(2, 4);
+  m.At(1, 0) = 2.0f;
+  m.NormalizeRows();
+  for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m.At(0, c), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 1.0f);
+}
+
+TEST(MatrixTest, ResetReshapesAndZeroes) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 5.0f;
+  m.Reset(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, MemoryBytesTracksSize) {
+  Matrix m(100, 100);
+  EXPECT_EQ(m.MemoryBytes(), 100u * 100u * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: parameterized over (m, n, dim, block_m, block_n).
+// ---------------------------------------------------------------------------
+
+using GemmShape = std::tuple<size_t, size_t, size_t, size_t, size_t>;
+
+class GemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, n, dim, block_m, block_n] = GetParam();
+  Matrix a = workload::RandomUnitVectors(m, dim, 20);
+  Matrix b = workload::RandomUnitVectors(n, dim, 21);
+  Matrix expected(m, n);
+  GemmABtReference(a, b, &expected);
+
+  GemmOptions options;
+  options.block_m = block_m;
+  options.block_n = block_n;
+  for (SimdMode mode : {SimdMode::kForceScalar, SimdMode::kAuto}) {
+    options.simd = mode;
+    Matrix d(m, n);
+    GemmABt(a, b, &d, options);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(d.At(i, j), expected.At(i, j), 1e-4f)
+            << "at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmShape{1, 1, 1, 1, 1},      // degenerate
+                      GemmShape{3, 5, 7, 2, 2},      // odd everything
+                      GemmShape{16, 16, 16, 4, 4},   // exact tiling
+                      GemmShape{17, 19, 100, 4, 8},  // ragged tiles
+                      GemmShape{64, 32, 100, 64, 256},
+                      GemmShape{50, 70, 256, 8, 16},
+                      GemmShape{5, 100, 1, 2, 64},   // dim=1 (Fig 11 case)
+                      GemmShape{100, 5, 64, 128, 128}));
+
+TEST(GemmTest, ParallelMatchesSequential) {
+  ThreadPool pool(4);
+  Matrix a = workload::RandomUnitVectors(97, 100, 22);
+  Matrix b = workload::RandomUnitVectors(113, 100, 23);
+  Matrix sequential(97, 113);
+  GemmABt(a, b, &sequential);
+  GemmOptions options;
+  options.pool = &pool;
+  options.block_m = 8;
+  Matrix parallel(97, 113);
+  GemmABt(a, b, &parallel, options);
+  for (size_t i = 0; i < sequential.rows(); ++i) {
+    for (size_t j = 0; j < sequential.cols(); ++j) {
+      EXPECT_EQ(sequential.At(i, j), parallel.At(i, j));
+    }
+  }
+}
+
+TEST(GemmTest, TileMatchesFullComputation) {
+  Matrix a = workload::RandomUnitVectors(20, 64, 24);
+  Matrix b = workload::RandomUnitVectors(30, 64, 25);
+  Matrix full(20, 30);
+  GemmABtReference(a, b, &full);
+  // Compute the tile [5,12) x [7,19) and compare.
+  const size_t i0 = 5, i1 = 12, j0 = 7, j1 = 19;
+  std::vector<float> tile((i1 - i0) * (j1 - j0));
+  GemmTile(a, b, i0, i1, j0, j1, tile.data(), SimdMode::kAuto);
+  for (size_t i = i0; i < i1; ++i) {
+    for (size_t j = j0; j < j1; ++j) {
+      EXPECT_NEAR(tile[(i - i0) * (j1 - j0) + (j - j0)], full.At(i, j),
+                  1e-4f);
+    }
+  }
+}
+
+TEST(GemmTest, UnitVectorProductsAreBounded) {
+  // Property: dots of unit vectors lie in [-1, 1] (up to rounding).
+  Matrix a = workload::RandomUnitVectors(40, 100, 26);
+  Matrix b = workload::RandomUnitVectors(40, 100, 27);
+  Matrix d(40, 40);
+  GemmABt(a, b, &d);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 40; ++j) {
+      EXPECT_GE(d.At(i, j), -1.0f - 1e-4f);
+      EXPECT_LE(d.At(i, j), 1.0f + 1e-4f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-k
+// ---------------------------------------------------------------------------
+
+TEST(TopKTest, KeepsBestK) {
+  TopKCollector collector(3);
+  const float scores[] = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f};
+  for (size_t i = 0; i < 5; ++i) collector.Push(scores[i], i);
+  auto top = collector.TakeSorted();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 1u);  // 0.9
+  EXPECT_EQ(top[1].id, 3u);  // 0.7
+  EXPECT_EQ(top[2].id, 2u);  // 0.5
+}
+
+TEST(TopKTest, FewerThanKKeepsAll) {
+  TopKCollector collector(10);
+  collector.Push(0.5f, 0);
+  collector.Push(0.6f, 1);
+  auto top = collector.TakeSorted();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+}
+
+TEST(TopKTest, TieBrokenBySmallerId) {
+  TopKCollector collector(2);
+  collector.Push(0.5f, 7);
+  collector.Push(0.5f, 3);
+  collector.Push(0.5f, 5);
+  auto top = collector.TakeSorted();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 3u);
+  EXPECT_EQ(top[1].id, 5u);
+}
+
+TEST(TopKTest, WouldAcceptTracksThreshold) {
+  TopKCollector collector(2);
+  collector.Push(0.8f, 0);
+  collector.Push(0.6f, 1);
+  EXPECT_TRUE(collector.WouldAccept(0.7f));
+  EXPECT_TRUE(collector.WouldAccept(0.6f));  // Ties can displace larger ids.
+  EXPECT_FALSE(collector.WouldAccept(0.5f));
+}
+
+TEST(TopKTest, SelectTopKMatchesFullSort) {
+  Rng rng(30);
+  std::vector<float> scores(500);
+  for (auto& s : scores) s = rng.NextFloat();
+  for (size_t k : {1u, 5u, 50u, 499u, 500u, 600u}) {
+    auto top = SelectTopK(scores.data(), scores.size(), k);
+    // Reference: indices sorted by (-score, id).
+    std::vector<size_t> idx(scores.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;
+    });
+    ASSERT_EQ(top.size(), std::min(k, scores.size()));
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].id, idx[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(TopKTest, SelectTopKZeroReturnsEmpty) {
+  const float scores[] = {1.0f};
+  EXPECT_TRUE(SelectTopK(scores, 1, 0).empty());
+}
+
+}  // namespace
+}  // namespace cej::la

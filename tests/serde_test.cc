@@ -1,0 +1,165 @@
+// Tests for binary persistence: serde primitives, matrix save/load, and
+// HNSW index save/load (loaded indexes must answer queries identically).
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cej/common/serde.h"
+#include "cej/index/hnsw_index.h"
+#include "cej/la/matrix_io.h"
+#include "cej/workload/generators.h"
+
+namespace cej {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerdeTest, PodRoundTrip) {
+  const std::string path = TempPath("pods.bin");
+  {
+    auto writer = serde::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WritePod<uint32_t>(0xdeadbeef).ok());
+    ASSERT_TRUE(writer->WritePod<double>(3.25).ok());
+    ASSERT_TRUE(writer->WriteString("hello").ok());
+  }
+  auto reader = serde::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  uint32_t u = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(reader->ReadPod(&u).ok());
+  ASSERT_TRUE(reader->ReadPod(&d).ok());
+  ASSERT_TRUE(reader->ReadString(&s).ok());
+  EXPECT_EQ(u, 0xdeadbeefu);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, ArrayRoundTripAndBounds) {
+  const std::string path = TempPath("arrays.bin");
+  {
+    auto writer = serde::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    const uint32_t values[] = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(writer->WriteArray(values, 5).ok());
+  }
+  {
+    auto reader = serde::Reader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    std::vector<uint32_t> out;
+    ASSERT_TRUE(reader->ReadArray(&out).ok());
+    EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+  }
+  {
+    // Bound enforcement: max_count below the stored length must fail.
+    auto reader = serde::Reader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    std::vector<uint32_t> out;
+    EXPECT_FALSE(reader->ReadArray(&out, /*max_count=*/3).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, TruncatedReadFails) {
+  const std::string path = TempPath("trunc.bin");
+  {
+    auto writer = serde::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WritePod<uint16_t>(7).ok());
+  }
+  auto reader = serde::Reader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  uint64_t big = 0;
+  EXPECT_FALSE(reader->ReadPod(&big).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileIsNotFound) {
+  auto reader = serde::Reader::Open("/nonexistent/dir/file.bin");
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MatrixIoTest, RoundTripPreservesContents) {
+  const std::string path = TempPath("matrix.cejm");
+  la::Matrix original = workload::RandomUnitVectors(37, 65, 1);
+  ASSERT_TRUE(la::SaveMatrix(original, path).ok());
+  auto loaded = la::LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->rows(), original.rows());
+  ASSERT_EQ(loaded->cols(), original.cols());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->data()[i], original.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, RejectsCorruptMagic) {
+  const std::string path = TempPath("bad.cejm");
+  {
+    auto writer = serde::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WritePod<uint32_t>(0x12345678).ok());
+  }
+  EXPECT_FALSE(la::LoadMatrix(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(HnswIoTest, LoadedIndexAnswersIdentically) {
+  const std::string path = TempPath("index.cejh");
+  la::Matrix vectors = workload::RandomUnitVectors(600, 32, 2);
+  auto built = index::HnswIndex::Build(vectors.Clone());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE((*built)->Save(path).ok());
+  auto loaded = index::HnswIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), 600u);
+  EXPECT_EQ((*loaded)->dim(), 32u);
+  EXPECT_EQ((*loaded)->max_level(), (*built)->max_level());
+
+  la::Matrix queries = workload::RandomUnitVectors(15, 32, 3);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    auto a = (*built)->SearchTopK(queries.Row(q), 5);
+    auto b = (*loaded)->SearchTopK(queries.Row(q), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HnswIoTest, GraphStructureSurvives) {
+  const std::string path = TempPath("graph.cejh");
+  auto built =
+      index::HnswIndex::Build(workload::RandomUnitVectors(200, 16, 4));
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE((*built)->Save(path).ok());
+  auto loaded = index::HnswIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  for (uint32_t node = 0; node < 200; node += 17) {
+    EXPECT_EQ((*loaded)->NeighborsAt(node, 0),
+              (*built)->NeighborsAt(node, 0));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HnswIoTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.cejh");
+  {
+    auto writer = serde::Writer::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WritePod<uint64_t>(0xffffffffffffffffull).ok());
+  }
+  EXPECT_FALSE(index::HnswIndex::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cej

@@ -1,0 +1,228 @@
+// Tests for cej/storage: schema validation, typed columns, relation
+// assembly, gather/take, column appending.
+
+#include <gtest/gtest.h>
+
+#include "cej/storage/column.h"
+#include "cej/storage/relation.h"
+#include "cej/storage/schema.h"
+#include "cej/workload/generators.h"
+
+namespace cej::storage {
+namespace {
+
+Schema MakeSchema(std::vector<Field> fields) {
+  auto schema = Schema::Create(std::move(fields));
+  CEJ_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, CreateAndLookup) {
+  Schema schema = MakeSchema({{"id", DataType::kInt64, 0},
+                              {"name", DataType::kString, 0},
+                              {"emb", DataType::kVector, 100}});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("name").value(), 1u);
+  EXPECT_EQ(schema.field(2).vector_dim, 100u);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto schema = Schema::Create(
+      {{"x", DataType::kInt64, 0}, {"x", DataType::kDouble, 0}});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Create({{"", DataType::kInt64, 0}}).ok());
+}
+
+TEST(SchemaTest, RejectsZeroDimVector) {
+  EXPECT_FALSE(Schema::Create({{"v", DataType::kVector, 0}}).ok());
+}
+
+TEST(SchemaTest, RejectsDimOnNonVector) {
+  EXPECT_FALSE(Schema::Create({{"x", DataType::kInt64, 8}}).ok());
+}
+
+TEST(SchemaTest, MissingFieldIsNotFound) {
+  Schema schema = MakeSchema({{"a", DataType::kInt64, 0}});
+  EXPECT_EQ(schema.FieldIndex("b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kVector), "vector");
+  EXPECT_STREQ(DataTypeName(DataType::kDate), "date");
+}
+
+// ---------------------------------------------------------------------------
+// Column
+// ---------------------------------------------------------------------------
+
+TEST(ColumnTest, TypedConstructionAndAccess) {
+  Column c = Column::Int64({1, 2, 3});
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.int64_values()[1], 2);
+  EXPECT_EQ(c.vector_dim(), 0u);
+}
+
+TEST(ColumnTest, VectorColumnReportsDim) {
+  Column c = Column::Vector(workload::RandomUnitVectors(4, 16, 1));
+  EXPECT_EQ(c.type(), DataType::kVector);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.vector_dim(), 16u);
+  EXPECT_NE(c.VectorAt(3), nullptr);
+}
+
+TEST(ColumnTest, GatherReordersAndRepeats) {
+  Column c = Column::String({"a", "b", "c"});
+  Column g = c.Gather({2, 0, 2, 1});
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.string_values()[0], "c");
+  EXPECT_EQ(g.string_values()[1], "a");
+  EXPECT_EQ(g.string_values()[2], "c");
+  EXPECT_EQ(g.string_values()[3], "b");
+}
+
+TEST(ColumnTest, GatherVectorCopiesRows) {
+  la::Matrix m(3, 2);
+  m.At(0, 0) = 1.0f;
+  m.At(1, 0) = 2.0f;
+  m.At(2, 0) = 3.0f;
+  Column c = Column::Vector(std::move(m));
+  Column g = c.Gather({1, 1, 0});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_FLOAT_EQ(g.VectorAt(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(g.VectorAt(1)[0], 2.0f);
+  EXPECT_FLOAT_EQ(g.VectorAt(2)[0], 1.0f);
+}
+
+TEST(ColumnTest, GatherEmptyProducesEmpty) {
+  Column c = Column::Date({10, 20});
+  Column g = c.Gather({});
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.type(), DataType::kDate);
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+Relation MakeTestRelation() {
+  Schema schema = MakeSchema({{"id", DataType::kInt64, 0},
+                              {"word", DataType::kString, 0},
+                              {"when", DataType::kDate, 0}});
+  std::vector<Column> columns;
+  columns.push_back(Column::Int64({10, 20, 30, 40}));
+  columns.push_back(Column::String({"w", "x", "y", "z"}));
+  columns.push_back(Column::Date({100, 200, 300, 400}));
+  auto rel = Relation::Create(std::move(schema), std::move(columns));
+  CEJ_CHECK(rel.ok());
+  return std::move(rel).value();
+}
+
+TEST(RelationTest, CreateValid) {
+  Relation rel = MakeTestRelation();
+  EXPECT_EQ(rel.num_rows(), 4u);
+  EXPECT_EQ(rel.num_columns(), 3u);
+  EXPECT_EQ(rel.ColumnByName("word").value()->string_values()[2], "y");
+}
+
+TEST(RelationTest, RejectsColumnCountMismatch) {
+  Schema schema = MakeSchema({{"a", DataType::kInt64, 0}});
+  std::vector<Column> columns;
+  columns.push_back(Column::Int64({1}));
+  columns.push_back(Column::Int64({2}));
+  EXPECT_FALSE(Relation::Create(schema, std::move(columns)).ok());
+}
+
+TEST(RelationTest, RejectsTypeMismatch) {
+  Schema schema = MakeSchema({{"a", DataType::kInt64, 0}});
+  std::vector<Column> columns;
+  columns.push_back(Column::Double({1.0}));
+  EXPECT_FALSE(Relation::Create(schema, std::move(columns)).ok());
+}
+
+TEST(RelationTest, RejectsLengthMismatch) {
+  Schema schema = MakeSchema(
+      {{"a", DataType::kInt64, 0}, {"b", DataType::kInt64, 0}});
+  std::vector<Column> columns;
+  columns.push_back(Column::Int64({1, 2}));
+  columns.push_back(Column::Int64({1, 2, 3}));
+  EXPECT_FALSE(Relation::Create(schema, std::move(columns)).ok());
+}
+
+TEST(RelationTest, RejectsVectorDimMismatch) {
+  Schema schema = MakeSchema({{"v", DataType::kVector, 8}});
+  std::vector<Column> columns;
+  columns.push_back(Column::Vector(workload::RandomUnitVectors(2, 4, 1)));
+  EXPECT_FALSE(Relation::Create(schema, std::move(columns)).ok());
+}
+
+TEST(RelationTest, TakeMaterializesSubset) {
+  Relation rel = MakeTestRelation();
+  Relation sub = rel.Take({3, 1});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.ColumnByName("id").value()->int64_values()[0], 40);
+  EXPECT_EQ(sub.ColumnByName("word").value()->string_values()[1], "x");
+  // Original untouched.
+  EXPECT_EQ(rel.num_rows(), 4u);
+}
+
+TEST(RelationTest, TakeEmptyYieldsEmptyRelation) {
+  Relation rel = MakeTestRelation();
+  Relation sub = rel.Take({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+  EXPECT_EQ(sub.num_columns(), 3u);
+}
+
+TEST(RelationTest, WithColumnAppends) {
+  Relation rel = MakeTestRelation();
+  auto extended = rel.WithColumn({"score", DataType::kDouble, 0},
+                                 Column::Double({0.1, 0.2, 0.3, 0.4}));
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->num_columns(), 4u);
+  EXPECT_EQ(extended->ColumnByName("score").value()->double_values()[3],
+            0.4);
+  // Shares the original columns.
+  EXPECT_EQ(&rel.column(0), &extended->column(0));
+}
+
+TEST(RelationTest, WithColumnRejectsNameClash) {
+  Relation rel = MakeTestRelation();
+  auto extended =
+      rel.WithColumn({"id", DataType::kInt64, 0}, Column::Int64({1, 2, 3, 4}));
+  EXPECT_EQ(extended.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RelationTest, WithColumnRejectsLengthMismatch) {
+  Relation rel = MakeTestRelation();
+  auto extended =
+      rel.WithColumn({"s", DataType::kInt64, 0}, Column::Int64({1}));
+  EXPECT_FALSE(extended.ok());
+}
+
+TEST(RelationTest, WithColumnRejectsTypeMismatch) {
+  Relation rel = MakeTestRelation();
+  auto extended = rel.WithColumn({"s", DataType::kDouble, 0},
+                                 Column::Int64({1, 2, 3, 4}));
+  EXPECT_FALSE(extended.ok());
+}
+
+TEST(RelationTest, WithVectorColumn) {
+  Relation rel = MakeTestRelation();
+  auto extended = rel.WithColumn(
+      {"emb", DataType::kVector, 8},
+      Column::Vector(workload::RandomUnitVectors(4, 8, 5)));
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->ColumnByName("emb").value()->vector_dim(), 8u);
+}
+
+}  // namespace
+}  // namespace cej::storage

@@ -1,0 +1,183 @@
+// Tests for cej/workload: generator determinism and distributional
+// properties; corpus family structure and samplers.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cej/la/vector_ops.h"
+#include "cej/workload/corpus.h"
+#include "cej/workload/generators.h"
+
+namespace cej::workload {
+namespace {
+
+TEST(GeneratorsTest, RandomUnitVectorsAreUnit) {
+  la::Matrix m = RandomUnitVectors(100, 50, 1);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_NEAR(la::L2Norm(m.Row(r), m.cols()), 1.0f, 1e-5f);
+  }
+}
+
+TEST(GeneratorsTest, RandomUnitVectorsDeterministic) {
+  la::Matrix a = RandomUnitVectors(10, 16, 7);
+  la::Matrix b = RandomUnitVectors(10, 16, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+  la::Matrix c = RandomUnitVectors(10, 16, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= (a.data()[i] != c.data()[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, UniformInt64RespectsBounds) {
+  auto v = UniformInt64(10000, -5, 5, 2);
+  for (int64_t x : v) {
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  // All values hit.
+  std::set<int64_t> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 11u);
+}
+
+TEST(GeneratorsTest, UniformDatesRespectBounds) {
+  auto v = UniformDates(1000, 1000, 2000, 3);
+  for (int32_t x : v) {
+    EXPECT_GE(x, 1000);
+    EXPECT_LE(x, 2000);
+  }
+}
+
+TEST(GeneratorsTest, RandomStringsRespectLengthAndAlphabet) {
+  auto v = RandomStrings(500, 3, 9, 4);
+  for (const auto& s : v) {
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 9u);
+    for (char c : s) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(GeneratorsTest, SelectivityColumnIsPercentile) {
+  auto v = SelectivityColumn(100000, 5);
+  for (int64_t x : v) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 100);
+  }
+  // col < 25 should select ~25%.
+  const auto count =
+      std::count_if(v.begin(), v.end(), [](int64_t x) { return x < 25; });
+  EXPECT_NEAR(static_cast<double>(count) / v.size(), 0.25, 0.01);
+}
+
+TEST(GeneratorsTest, ExactSelectivityBitmapIsExact) {
+  for (double pct : {0.0, 10.0, 33.3, 50.0, 100.0}) {
+    auto bitmap = ExactSelectivityBitmap(10000, pct, 6);
+    const auto ones = std::count(bitmap.begin(), bitmap.end(), 1);
+    EXPECT_EQ(ones, std::llround(10000 * pct / 100.0)) << pct;
+  }
+}
+
+TEST(GeneratorsTest, ZipfRanksSkewTowardsZero) {
+  auto ranks = ZipfRanks(50000, 100, 1.0, 7);
+  size_t rank0 = 0, rank50 = 0;
+  for (uint32_t r : ranks) {
+    EXPECT_LT(r, 100u);
+    rank0 += (r == 0);
+    rank50 += (r == 50);
+  }
+  EXPECT_GT(rank0, rank50 * 10);
+}
+
+TEST(GeneratorsTest, ZipfThetaZeroIsUniform) {
+  auto ranks = ZipfRanks(100000, 10, 0.0, 8);
+  size_t counts[10] = {0};
+  for (uint32_t r : ranks) ++counts[r];
+  for (size_t c : counts) EXPECT_NEAR(c, 10000.0, 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, FamiliesArePlantedAndDisjoint) {
+  CorpusOptions options;
+  options.num_families = 20;
+  options.variants_per_family = 4;
+  Corpus corpus(options);
+  EXPECT_EQ(corpus.num_families(), 20u);
+  std::set<std::string> seen;
+  for (size_t f = 0; f < corpus.num_families(); ++f) {
+    for (const auto& w : corpus.Family(f)) {
+      EXPECT_TRUE(seen.insert(w).second) << "duplicate " << w;
+      EXPECT_EQ(corpus.FamilyOf(w), static_cast<int64_t>(f));
+    }
+  }
+}
+
+TEST(CorpusTest, SameFamilyGroundTruth) {
+  Corpus corpus(CorpusOptions{});
+  const auto& f0 = corpus.Family(0);
+  const auto& f1 = corpus.Family(1);
+  EXPECT_TRUE(corpus.SameFamily(f0[0], f0[1]));
+  EXPECT_FALSE(corpus.SameFamily(f0[0], f1[0]));
+  EXPECT_FALSE(corpus.SameFamily(f0[0], "definitely_not_a_word"));
+}
+
+TEST(CorpusTest, ExplicitFamiliesAreUsedVerbatim) {
+  std::vector<std::vector<std::string>> families = {
+      {"dbms", "rdbms", "nosql"}, {"clothes", "dresses", "garments"}};
+  Corpus corpus(CorpusOptions{}, families);
+  EXPECT_EQ(corpus.num_families(), 2u);
+  EXPECT_TRUE(corpus.SameFamily("dbms", "nosql"));
+  EXPECT_FALSE(corpus.SameFamily("dbms", "clothes"));
+}
+
+TEST(CorpusTest, LexiconMapsFamiliesToConcepts) {
+  Corpus corpus(CorpusOptions{});
+  auto lexicon = corpus.MakeLexicon();
+  const auto& f2 = corpus.Family(2);
+  const int64_t c = lexicon.Lookup(f2[0]);
+  EXPECT_GE(c, 0);
+  for (const auto& w : f2) EXPECT_EQ(lexicon.Lookup(w), c);
+}
+
+TEST(CorpusTest, TokenStreamContainsOnlyKnownTokens) {
+  CorpusOptions options;
+  options.num_families = 5;
+  Corpus corpus(options);
+  auto tokens = corpus.GenerateTokenStream(200, 9);
+  EXPECT_EQ(tokens.size(), 200u * 5u);
+  for (const auto& t : tokens) EXPECT_FALSE(t.empty());
+}
+
+TEST(CorpusTest, SampleWordsFamilyFraction) {
+  CorpusOptions options;
+  options.num_families = 10;
+  options.num_noise_words = 100;
+  Corpus corpus(options);
+  auto words = corpus.SampleWords(5000, 0.8, 10);
+  size_t family_words = 0;
+  for (const auto& w : words) family_words += (corpus.FamilyOf(w) >= 0);
+  EXPECT_NEAR(static_cast<double>(family_words) / words.size(), 0.8, 0.05);
+}
+
+TEST(CorpusTest, DeterministicGivenSeed) {
+  CorpusOptions options;
+  options.seed = 42;
+  Corpus a(options), b(options);
+  EXPECT_EQ(a.words(), b.words());
+  EXPECT_EQ(a.GenerateTokenStream(50, 1), b.GenerateTokenStream(50, 1));
+  EXPECT_EQ(a.SampleWords(50, 0.5, 2), b.SampleWords(50, 0.5, 2));
+}
+
+}  // namespace
+}  // namespace cej::workload
