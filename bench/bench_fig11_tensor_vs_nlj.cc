@@ -2,7 +2,9 @@
 // larger inputs compared to NLJ." — per-FP32-element processing time for
 // the vectorized NLJ vs the tensor formulation, over total FP32 op counts
 // {25600, 2.56M, 256M} x vector dimensionality {1, 4, 16, 64, 256}.
-// Relations are balanced: each side has sqrt(ops/dim) tuples.
+// Relations are balanced: each side has sqrt(ops/dim) tuples. Both
+// formulations run as registered join::JoinOperator implementations over
+// the same vector-domain JoinInputs.
 //
 // Expected shape: tensor wins everywhere except the tiny-input cells
 // (sqrt(25600/64)=20 and sqrt(25600/256)=10 tuples), where kernel setup
@@ -13,8 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "cej/join/nlj_prefetch.h"
-#include "cej/join/tensor_join.h"
+#include "cej/join/join_operator.h"
 #include "cej/workload/generators.h"
 
 int main() {
@@ -30,6 +31,28 @@ int main() {
   // half the cross product).
   const auto condition = join::JoinCondition::Threshold(1.01f);
 
+  auto& registry = join::JoinOperatorRegistry::Global();
+  const join::JoinOperator* nlj_op = *registry.Find("prefetch_nlj");
+  const join::JoinOperator* tensor_op = *registry.Find("tensor");
+
+  auto best_of = [&](const join::JoinOperator* op, const la::Matrix& left,
+                     const la::Matrix& right, int reps) {
+    join::JoinOptions options;
+    options.pool = &bench::Pool();
+    join::JoinInputs inputs;
+    inputs.left_vectors = &left;
+    inputs.right_vectors = &right;
+    double best_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      best_ms = std::min(best_ms, bench::TimeMs([&] {
+        join::MaterializingSink sink;
+        auto stats = op->Run(inputs, condition, options, &sink);
+        CEJ_CHECK(stats.ok());
+      }));
+    }
+    return best_ms;
+  };
+
   std::printf("\n%12s %6s %8s %18s %18s\n", "#FP32 ops", "dim", "tuples",
               "NLJ [ns/elem]", "Tensor [ns/elem]");
   for (double ops : op_counts) {
@@ -42,27 +65,8 @@ int main() {
       la::Matrix right = workload::RandomUnitVectors(tuples, dim, 2);
       const double elems = static_cast<double>(tuples) * tuples * dim;
 
-      join::NljOptions nlj_options;
-      nlj_options.pool = &bench::Pool();
-      double nlj_ms = 1e300;
-      for (int r = 0; r < reps; ++r) {
-        nlj_ms = std::min(nlj_ms, bench::TimeMs([&] {
-          auto res =
-              join::NljJoinMatrices(left, right, condition, nlj_options);
-          CEJ_CHECK(res.ok());
-        }));
-      }
-
-      join::TensorJoinOptions tensor_options;
-      tensor_options.pool = &bench::Pool();
-      double tensor_ms = 1e300;
-      for (int r = 0; r < reps; ++r) {
-        tensor_ms = std::min(tensor_ms, bench::TimeMs([&] {
-          auto res = join::TensorJoinMatrices(left, right, condition,
-                                              tensor_options);
-          CEJ_CHECK(res.ok());
-        }));
-      }
+      const double nlj_ms = best_of(nlj_op, left, right, reps);
+      const double tensor_ms = best_of(tensor_op, left, right, reps);
 
       std::printf("%12.0f %6zu %8zu %18.3f %18.3f\n", ops, dim, tuples,
                   nlj_ms * 1e6 / elems, tensor_ms * 1e6 / elems);

@@ -1,6 +1,9 @@
 // Figure 8: "The impact of logical and physical optimization on NLJ
 // formulation. 100-D vectors, 48 threads." — naive (per-pair embedding)
 // vs prefetch E-NLJ, each with and without SIMD, over three size mixes.
+// Both formulations run as registered join::JoinOperator implementations
+// through the registry — the same polymorphic surface the executor and
+// cej::Engine select from.
 //
 // Expected shape: the naive formulation is orders of magnitude slower and
 // barely benefits from SIMD (the bottleneck is model access, not compute);
@@ -10,8 +13,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "cej/join/nlj_naive.h"
-#include "cej/join/nlj_prefetch.h"
+#include "cej/join/join_operator.h"
 #include "cej/model/subword_hash_model.h"
 #include "cej/workload/generators.h"
 
@@ -32,7 +34,29 @@ int main() {
   };
 
   model::SubwordHashModel model;  // 100-D, like the paper.
-  const float threshold = 0.95f;
+  const auto condition = join::JoinCondition::Threshold(0.95f);
+
+  auto& registry = join::JoinOperatorRegistry::Global();
+  const join::JoinOperator* naive_op = *registry.Find("naive_nlj");
+  const join::JoinOperator* prefetch_op = *registry.Find("prefetch_nlj");
+
+  auto run_op = [&](const join::JoinOperator* op,
+                    const std::vector<std::string>& left,
+                    const std::vector<std::string>& right,
+                    la::SimdMode simd) {
+    join::JoinOptions options;
+    options.simd = simd;
+    options.pool = &bench::Pool();
+    join::JoinInputs inputs;
+    inputs.left_strings = &left;
+    inputs.right_strings = &right;
+    inputs.model = &model;
+    return bench::TimeMs([&] {
+      join::MaterializingSink sink;
+      auto stats = op->Run(inputs, condition, options, &sink);
+      CEJ_CHECK(stats.ok());
+    });
+  };
 
   std::printf("\n%-14s %14s %14s %18s %16s\n", "|R| x |S|", "naive[ms]",
               "naive+SIMD[ms]", "prefetch[ms]", "prefetch+SIMD[ms]");
@@ -47,41 +71,15 @@ int main() {
     const bool run_naive =
         c.m * c.n <= (bench::FullScale() ? 100ull * 1000 * 1000 : 700'000ull);
     if (run_naive) {
-      join::JoinOptions scalar;
-      scalar.simd = la::SimdMode::kForceScalar;
-      scalar.pool = &bench::Pool();
-      naive_scalar_ms = bench::TimeMs([&] {
-        auto r = join::NaiveNljJoin(left, right, model, threshold, scalar);
-        CEJ_CHECK(r.ok());
-      });
-      join::JoinOptions simd;
-      simd.simd = la::SimdMode::kAuto;
-      simd.pool = &bench::Pool();
-      naive_simd_ms = bench::TimeMs([&] {
-        auto r = join::NaiveNljJoin(left, right, model, threshold, simd);
-        CEJ_CHECK(r.ok());
-      });
+      naive_scalar_ms =
+          run_op(naive_op, left, right, la::SimdMode::kForceScalar);
+      naive_simd_ms = run_op(naive_op, left, right, la::SimdMode::kAuto);
     }
 
-    double prefetch_scalar_ms, prefetch_simd_ms;
-    {
-      join::NljOptions options;
-      options.simd = la::SimdMode::kForceScalar;
-      options.pool = &bench::Pool();
-      prefetch_scalar_ms = bench::TimeMs([&] {
-        auto r = join::PrefetchNljJoin(
-            left, right, model, join::JoinCondition::Threshold(threshold),
-            options);
-        CEJ_CHECK(r.ok());
-      });
-      options.simd = la::SimdMode::kAuto;
-      prefetch_simd_ms = bench::TimeMs([&] {
-        auto r = join::PrefetchNljJoin(
-            left, right, model, join::JoinCondition::Threshold(threshold),
-            options);
-        CEJ_CHECK(r.ok());
-      });
-    }
+    const double prefetch_scalar_ms =
+        run_op(prefetch_op, left, right, la::SimdMode::kForceScalar);
+    const double prefetch_simd_ms =
+        run_op(prefetch_op, left, right, la::SimdMode::kAuto);
 
     char label[32];
     std::snprintf(label, sizeof(label), "%zu x %zu", c.m, c.n);

@@ -1,15 +1,15 @@
 // Access-path advisor (paper Section VI.E): for a hybrid vector-relational
 // join, should the engine SCAN (pre-filtered tensor join) or PROBE (HNSW
-// index)? This example calibrates the cost model on the local machine and
-// prints the advisor's decision surface over selectivity for the three
-// condition shapes the paper evaluates — the programmatic form of
-// Figures 15-17's crossovers.
+// index)? This example calibrates an Engine's cost model on the local
+// machine, shows a real query's registry-based operator selection with
+// both cost estimates, then prints the advisor's decision surface over
+// selectivity for the three condition shapes the paper evaluates — the
+// programmatic form of Figures 15-17's crossovers.
 
 #include <cstdio>
 
-#include "cej/model/subword_hash_model.h"
-#include "cej/plan/access_path.h"
-#include "cej/plan/cost_model.h"
+#include "cej/cej.h"
+#include "cej/workload/generators.h"
 
 using namespace cej;
 
@@ -26,15 +26,64 @@ void PrintDecisionRow(const char* label, plan::AccessPathQuery query,
   std::printf("\n");
 }
 
+std::shared_ptr<const storage::Relation> VectorTable(la::Matrix embeddings,
+                                                     uint64_t date_seed) {
+  const size_t n = embeddings.rows();
+  auto schema = storage::Schema::Create(
+      {{"emb", storage::DataType::kVector, embeddings.cols()},
+       {"when", storage::DataType::kDate, 0}});
+  std::vector<storage::Column> columns;
+  columns.push_back(storage::Column::Vector(std::move(embeddings)));
+  columns.push_back(
+      storage::Column::Date(workload::UniformDates(n, 0, 99, date_seed)));
+  auto rel = storage::Relation::Create(std::move(schema).value(),
+                                       std::move(columns));
+  return std::make_shared<const storage::Relation>(std::move(rel).value());
+}
+
 }  // namespace
 
 int main() {
   model::SubwordHashModel model;
-  plan::CostParams params = plan::Calibrate(model);
+
+  // Calibrate the engine's cost parameters on this machine.
+  Engine engine;
+  engine.CalibrateCosts(model);
+  const plan::CostParams& params = engine.cost_params();
   std::printf("calibrated on this machine: A=%.1f ns, M=%.1f ns, "
               "C=%.1f ns per unit\n\n",
               params.access, params.model, params.compute);
 
+  // A real (small) instance first: the engine selects the operator from
+  // the registry and reports both access-path estimates in the stats.
+  const size_t dim = 64;
+  CEJ_CHECK(engine
+                .RegisterTable("queries", VectorTable(
+                    workload::RandomUnitVectors(50, dim, 1), 2))
+                .ok());
+  CEJ_CHECK(engine
+                .RegisterTable("corpus", VectorTable(
+                    workload::RandomUnitVectors(5000, dim, 3), 4))
+                .ok());
+  auto hnsw = index::HnswIndex::Build(
+      workload::RandomUnitVectors(5000, dim, 3),
+      index::HnswBuildOptions::Lo());
+  CEJ_CHECK(hnsw.ok());
+  CEJ_CHECK(engine.RegisterIndex("corpus", "emb", hnsw->get()).ok());
+
+  auto result = engine.Query("queries")
+                    .Select(expr::Cmp("when", expr::CmpOp::kLt, int64_t{60}))
+                    .EJoin("corpus", "emb", join::JoinCondition::TopK(1))
+                    .Execute();
+  CEJ_CHECK(result.ok());
+  std::printf("real 50 x 5000 top-1 join: engine chose '%s' "
+              "(scan est %.2f ms, probe est %.2f ms)\n\n",
+              result->stats.join_operator.c_str(),
+              result->stats.scan_cost_estimate / 1e6,
+              result->stats.probe_cost_estimate / 1e6);
+
+  // The decision surface at paper scale, priced without running: the same
+  // per-operator EstimateCost the registry scan uses at execution time.
   plan::AccessPathQuery query;
   query.left_rows = 10000;
   query.right_rows = 1000000;

@@ -1,17 +1,31 @@
 // Online data cleaning & integration (paper Section II.A.2): deduplicate a
 // dirty product catalog against a reference catalog on the fly — no manual
-// rules, no prior cleaning — using a threshold E-join, then decode matches
-// and report precision against the known ground truth.
+// rules, no prior cleaning — with one declarative threshold E-join through
+// cej::Engine, then report precision against the known ground truth.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "cej/join/tensor_join.h"
-#include "cej/model/subword_hash_model.h"
+#include "cej/cej.h"
 #include "cej/workload/corpus.h"
 
 using namespace cej;
+
+namespace {
+
+std::shared_ptr<const storage::Relation> WordsTable(
+    std::vector<std::string> words) {
+  auto schema =
+      storage::Schema::Create({{"name", storage::DataType::kString, 0}});
+  std::vector<storage::Column> columns;
+  columns.push_back(storage::Column::String(std::move(words)));
+  auto rel = storage::Relation::Create(std::move(schema).value(),
+                                       std::move(columns));
+  return std::make_shared<const storage::Relation>(std::move(rel).value());
+}
+
+}  // namespace
 
 int main() {
   // A synthetic "vendor feed": every reference product appears under
@@ -36,35 +50,50 @@ int main() {
   mopts.concept_weight = 0.8f;
   model::SubwordHashModel model(mopts, &lexicon);
 
-  join::TensorJoinOptions options;
-  auto result = join::TensorJoin(feed, reference, model,
-                                 join::JoinCondition::Threshold(0.6f),
-                                 options);
+  Engine engine;
+  CEJ_CHECK(engine.RegisterTable("feed", WordsTable(feed)).ok());
+  CEJ_CHECK(engine.RegisterTable("reference", WordsTable(reference)).ok());
+  CEJ_CHECK(engine.RegisterModel("subword", &model).ok());
+
+  // SELECT * FROM feed f, reference r
+  //  WHERE cosine(mu(f.name), mu(r.name)) >= 0.6
+  auto result = engine.Query("feed")
+                    .EJoin("reference", "name",
+                           join::JoinCondition::Threshold(0.6f))
+                    .Execute();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
 
+  const auto& rel = result->relation;
+  const auto& dirty = rel.ColumnByName("name").value()->string_values();
+  const auto& canon =
+      rel.ColumnByName("right_name").value()->string_values();
+  const auto& sims =
+      rel.ColumnByName("similarity").value()->double_values();
+
   size_t correct = 0, wrong = 0;
-  for (const auto& p : result->pairs) {
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
     const bool truth =
-        corpus.SameFamily(feed[p.left], reference[p.right]) ||
-        feed[p.left] == reference[p.right];
+        corpus.SameFamily(dirty[i], canon[i]) || dirty[i] == canon[i];
     (truth ? correct : wrong) += 1;
   }
   std::printf("dirty feed entries : %zu\n", feed.size());
   std::printf("reference products : %zu\n", reference.size());
   std::printf("matched pairs      : %zu (%zu correct, %zu spurious)\n",
-              result->pairs.size(), correct, wrong);
+              rel.num_rows(), correct, wrong);
+  std::printf("physical operator  : %s\n",
+              result->stats.join_operator.c_str());
   std::printf("model invocations  : %llu (= |feed| + |reference|)\n",
               static_cast<unsigned long long>(result->stats.model_calls));
 
   std::printf("\nsample resolutions:\n");
   size_t shown = 0;
-  for (const auto& p : result->pairs) {
-    if (feed[p.left] == reference[p.right]) continue;  // Skip identities.
-    std::printf("  %-14s -> %-14s (%.3f)\n", feed[p.left].c_str(),
-                reference[p.right].c_str(), p.similarity);
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
+    if (dirty[i] == canon[i]) continue;  // Skip identities.
+    std::printf("  %-14s -> %-14s (%.3f)\n", dirty[i].c_str(),
+                canon[i].c_str(), sims[i]);
     if (++shown == 10) break;
   }
   return 0;

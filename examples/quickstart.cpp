@@ -1,21 +1,19 @@
-// Quickstart: the five-minute tour of CEJ's public API.
+// Quickstart: the five-minute tour of CEJ's public API — the cej::Engine
+// facade.
 //
-//   1. Build two relations holding strings + dates.
-//   2. Declare the Figure-5 query: a similarity join over the string
-//      columns with a relational date predicate.
-//   3. Let the optimizer hoist embeddings and push the selection down.
-//   4. Execute and read the results.
+//   1. Build two relations holding strings + dates and register them.
+//   2. Declare the Figure-5 query fluently: a similarity join over the
+//      string columns with a relational date predicate.
+//   3. The engine optimizes (hoists embeddings, pushes the selection
+//      down) and picks the physical operator from the registry.
+//   4. Read the results and the execution diagnostics.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>
 #include <memory>
 
-#include "cej/expr/predicate.h"
-#include "cej/model/subword_hash_model.h"
-#include "cej/plan/executor.h"
-#include "cej/plan/rewrite.h"
-#include "cej/storage/relation.h"
+#include "cej/cej.h"
 
 using namespace cej;
 
@@ -41,48 +39,52 @@ int main() {
   // of the same word land close together in cosine space.
   model::SubwordHashModel model;
 
-  auto photos = MakeTable(
-      {"barbecue", "mountain", "sunset", "barbecues", "harbour"},
-      {10, 20, 60, 70, 80});
-  auto catalog = MakeTable(
-      {"barbicue", "grill", "mountains", "sunsets", "harbor", "dessert"},
-      {5, 15, 25, 35, 45, 55});
+  Engine engine;
+  CEJ_CHECK(engine
+                .RegisterTable("photos",
+                               MakeTable({"barbecue", "mountain", "sunset",
+                                          "barbecues", "harbour"},
+                                         {10, 20, 60, 70, 80}))
+                .ok());
+  CEJ_CHECK(engine
+                .RegisterTable("catalog",
+                               MakeTable({"barbicue", "grill", "mountains",
+                                          "sunsets", "harbor", "dessert"},
+                                         {5, 15, 25, 35, 45, 55}))
+                .ok());
+  CEJ_CHECK(engine.RegisterModel("fasttext", &model).ok());
 
   // SELECT * FROM photos p, catalog c
   //  WHERE p.taken > 15
   //    AND cosine(mu(p.word), mu(c.word)) >= 0.45
-  auto query = plan::EJoin(
-      plan::Select(plan::Scan("photos", photos),
-                   expr::Cmp("taken", expr::CmpOp::kGt, int64_t{15})),
-      plan::Scan("catalog", catalog), "word", "word", &model,
-      join::JoinCondition::Threshold(0.45f));
+  auto query = engine.Query("photos")
+                   .Select(expr::Cmp("taken", expr::CmpOp::kGt, int64_t{15}))
+                   .EJoin("catalog", "word",
+                          join::JoinCondition::Threshold(0.45f));
 
-  std::printf("— naive plan —\n%s\n", plan::PlanToString(query).c_str());
-  auto optimized = plan::Optimize(query);
-  std::printf("— optimized plan (embeddings hoisted) —\n%s\n",
-              plan::PlanToString(optimized).c_str());
+  auto explain = query.Explain();
+  CEJ_CHECK(explain.ok());
+  std::printf("%s\n", explain->c_str());
 
-  plan::ExecContext context;
-  auto result = plan::Execute(optimized, context);
+  auto result = query.Execute();
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
 
-  const auto& lw = result->ColumnByName("word").value()->string_values();
-  const auto& rw =
-      result->ColumnByName("right_word").value()->string_values();
-  const auto& sim =
-      result->ColumnByName("similarity").value()->double_values();
+  const auto& rel = result->relation;
+  const auto& lw = rel.ColumnByName("word").value()->string_values();
+  const auto& rw = rel.ColumnByName("right_word").value()->string_values();
+  const auto& sim = rel.ColumnByName("similarity").value()->double_values();
   std::printf("matches (photo ~ catalog, cosine):\n");
-  for (size_t i = 0; i < result->num_rows(); ++i) {
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
     std::printf("  %-12s ~ %-12s %.3f\n", lw[i].c_str(), rw[i].c_str(),
                 sim[i]);
   }
-  std::printf("(%zu rows; model was invoked %llu times — once per input "
-              "tuple, not per pair)\n",
-              result->num_rows(),
+  std::printf("(%zu rows via the '%s' operator; model was invoked %llu "
+              "times — once per input tuple, not per pair)\n",
+              rel.num_rows(), result->stats.join_operator.c_str(),
               static_cast<unsigned long long>(model.embed_calls()));
   return 0;
 }

@@ -1,20 +1,52 @@
-// Semantic search over a string corpus: the E-selection operator
-// (sigma_{E,mu,theta}) as a standalone primitive — plus index persistence.
+// Semantic search over a string corpus through cej::Engine — the paper's
+// observation in Section II.A.3, run literally: "a search query takes a
+// single query as an input; batching many search queries would be
+// equivalent to a join operation". A search is a one-row query table
+// E-joined against the corpus — plus index persistence.
 //
-//   1. Embed a corpus once and build an HNSW index over it.
-//   2. Save the index; reload it (as a long-running service would).
-//   3. Answer top-k and range queries through both the exact scan
-//      (ESelect) and the index (ESelectIndex), and compare.
+//   1. Embed a corpus once, build an HNSW index over it, save + reload it
+//      (as a long-running service would).
+//   2. Register corpus, model, and index with an Engine.
+//   3. Answer top-k and range queries through both the exact tensor scan
+//      and the index probe path, and compare.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
-#include "cej/index/hnsw_index.h"
-#include "cej/join/e_selection.h"
-#include "cej/model/subword_hash_model.h"
+#include "cej/cej.h"
 #include "cej/workload/corpus.h"
 
 using namespace cej;
+
+namespace {
+
+std::shared_ptr<const storage::Relation> WordsTable(
+    std::vector<std::string> words) {
+  auto schema =
+      storage::Schema::Create({{"word", storage::DataType::kString, 0}});
+  std::vector<storage::Column> columns;
+  columns.push_back(storage::Column::String(std::move(words)));
+  auto rel = storage::Relation::Create(std::move(schema).value(),
+                                       std::move(columns));
+  return std::make_shared<const storage::Relation>(std::move(rel).value());
+}
+
+void PrintMatches(const char* label, const QueryResult& result) {
+  const auto& rel = result.relation;
+  const auto& words =
+      rel.ColumnByName("right_word").value()->string_values();
+  const auto& sims = rel.ColumnByName("similarity").value()->double_values();
+  std::printf("%s (operator '%s', %llu similarity computations):\n", label,
+              result.stats.join_operator.c_str(),
+              static_cast<unsigned long long>(
+                  result.stats.join_stats.similarity_computations));
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
+    std::printf("  %-20s %.3f\n", words[i].c_str(), sims[i]);
+  }
+}
+
+}  // namespace
 
 int main() {
   // Corpus: product-name-like words with planted synonym families.
@@ -48,6 +80,13 @@ int main() {
                  index.status().ToString().c_str());
     return 1;
   }
+
+  Engine engine;
+  CEJ_CHECK(engine.RegisterTable("corpus", WordsTable(docs)).ok());
+  CEJ_CHECK(engine.RegisterModel("subword", &model).ok());
+  // The corpus is joined on its string column; the optimizer hoists the
+  // embedding, and the registered index covers that hoisted column.
+  CEJ_CHECK(engine.RegisterIndex("corpus", "word", index->get()).ok());
   std::printf("corpus: %zu documents, index persisted to %s and "
               "reloaded\n\n", docs.size(), index_path.c_str());
 
@@ -58,47 +97,47 @@ int main() {
   for (const auto& w : docs) {
     if (corpus.FamilyOf(w) < 0 && w.size() > base.size()) base = w;
   }
-  std::string query = base;
-  std::swap(query[query.size() - 2], query[query.size() - 3]);
-  std::printf("query: \"%s\" (typo of \"%s\")\n", query.c_str(),
+  std::string query_word = base;
+  std::swap(query_word[query_word.size() - 2],
+            query_word[query_word.size() - 3]);
+  std::printf("query: \"%s\" (typo of \"%s\")\n", query_word.c_str(),
               base.c_str());
-  auto query_vec = model.EmbedToVector(query);
 
-  auto scan = join::ESelectStrings(docs, query, model,
-                                   join::JoinCondition::TopK(5));
-  auto probe = join::ESelectIndex(**index, query_vec.data(),
+  // The search IS a join: a one-row query table against the corpus.
+  CEJ_CHECK(engine.RegisterTable("query", WordsTable({query_word})).ok());
+  auto search =
+      engine.Query("query").EJoin("corpus", "word", "word",
                                   join::JoinCondition::TopK(5));
-  if (!scan.ok() || !probe.ok()) return 1;
 
-  std::printf("\n%-28s | %s\n", "exact scan (E-selection)",
-              "HNSW probe (E-selection over index)");
-  for (size_t i = 0; i < 5; ++i) {
-    const auto& s = scan->matches[i];
-    const auto& p = probe->matches[i];
-    std::printf("%-20s (%.3f) | %-20s (%.3f)\n",
-                docs[s.id].c_str(), s.score, docs[p.id].c_str(), p.score);
-  }
-  std::printf("\nscan computed %llu similarities; probe computed %llu "
-              "(%.1f%% of the corpus)\n",
-              static_cast<unsigned long long>(
-                  scan->stats.similarity_computations),
-              static_cast<unsigned long long>(
-                  probe->stats.similarity_computations),
-              100.0 * probe->stats.similarity_computations /
-                  scan->stats.similarity_computations);
+  auto scan = search.Via("tensor").Execute();
+  auto probe = search.Via("index").Execute();
+  if (!scan.ok() || !probe.ok()) return 1;
+  std::printf("\n");
+  PrintMatches("exact scan (tensor operator)", *scan);
+  PrintMatches("HNSW probe (index operator)", *probe);
+  std::printf("probe touched %.1f%% of the corpus\n\n",
+              100.0 * probe->stats.join_stats.similarity_computations /
+                  scan->stats.join_stats.similarity_computations);
 
   // Demo 2 — semantic (synonym) retrieval: range-query with a family
   // member; its synonyms share a learned concept, not surface n-grams.
   const std::string& member = corpus.Family(7)[0];
-  auto range = join::ESelectStrings(docs, member, model,
-                                    join::JoinCondition::Threshold(0.6f));
+  CEJ_CHECK(engine.RegisterTable("synonym_query", WordsTable({member})).ok());
+  auto range = engine.Query("synonym_query")
+                   .EJoin("corpus", "word", "word",
+                          join::JoinCondition::Threshold(0.6f))
+                   .Execute();
   if (!range.ok()) return 1;
-  std::printf("\nsynonym range query \"%s\" (cosine >= 0.6): %zu "
-              "documents\n", member.c_str(), range->matches.size());
-  for (const auto& m : range->matches) {
-    std::printf("  %-20s %.3f%s\n", docs[m.id].c_str(), m.score,
-                corpus.SameFamily(docs[m.id], member) ? "  [same family]"
-                                                      : "");
+  const auto& hits =
+      range->relation.ColumnByName("right_word").value()->string_values();
+  const auto& sims =
+      range->relation.ColumnByName("similarity").value()->double_values();
+  std::printf("synonym range query \"%s\" (cosine >= 0.6): %zu documents\n",
+              member.c_str(), hits.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    std::printf("  %-20s %.3f%s\n", hits[i].c_str(), sims[i],
+                corpus.SameFamily(hits[i], member) ? "  [same family]"
+                                                   : "");
   }
   return 0;
 }

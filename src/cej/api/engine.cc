@@ -1,0 +1,276 @@
+#include "cej/api/engine.h"
+
+#include <utility>
+
+#include "cej/plan/cost_model.h"
+#include "cej/plan/rewrite.h"
+
+namespace cej {
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(const Options& options) : options_(options) {
+  if (options_.num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Engine::~Engine() = default;
+
+Status Engine::RegisterTable(std::string name, storage::Relation table) {
+  return RegisterTable(
+      std::move(name),
+      std::make_shared<const storage::Relation>(std::move(table)));
+}
+
+Status Engine::RegisterTable(
+    std::string name, std::shared_ptr<const storage::Relation> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("RegisterTable: null table");
+  }
+  auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Status Engine::RegisterModel(std::string name,
+                             const model::EmbeddingModel* model) {
+  if (model == nullptr || model->dim() == 0) {
+    return Status::InvalidArgument(
+        "RegisterModel: null model or zero dimensionality");
+  }
+  auto [it, inserted] = models_.emplace(std::move(name), model);
+  if (!inserted) {
+    return Status::AlreadyExists("model '" + it->first +
+                                 "' already registered");
+  }
+  if (default_model_.empty()) default_model_ = it->first;
+  return Status::OK();
+}
+
+Status Engine::RegisterModel(
+    std::string name, std::unique_ptr<const model::EmbeddingModel> model) {
+  CEJ_RETURN_IF_ERROR(RegisterModel(std::move(name), model.get()));
+  owned_models_.push_back(std::move(model));
+  return Status::OK();
+}
+
+Status Engine::SetDefaultModel(const std::string& name) {
+  if (models_.find(name) == models_.end()) {
+    return Status::NotFound("model '" + name + "' not registered");
+  }
+  default_model_ = name;
+  return Status::OK();
+}
+
+Status Engine::RegisterIndex(const std::string& table,
+                             const std::string& column,
+                             const index::VectorIndex* index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("RegisterIndex: null index");
+  }
+  if (tables_.find(table) == tables_.end()) {
+    return Status::NotFound("table '" + table + "' not registered");
+  }
+  const std::string key = table + "." + column;
+  if (indexes_.find(key) != indexes_.end()) {
+    return Status::AlreadyExists("index for '" + key +
+                                 "' already registered");
+  }
+  indexes_[key] = index;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const storage::Relation>> Engine::Table(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+Result<const model::EmbeddingModel*> Engine::Model(
+    const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+Result<const model::EmbeddingModel*> Engine::DefaultModel() const {
+  if (default_model_.empty()) {
+    return Status::NotFound("no embedding model registered");
+  }
+  return Model(default_model_);
+}
+
+QueryBuilder Engine::Query(std::string table) const {
+  return QueryBuilder(this, std::move(table));
+}
+
+void Engine::CalibrateCosts(const model::EmbeddingModel& model) {
+  cost_params_ = plan::Calibrate(model);
+}
+
+plan::ExecContext Engine::MakeExecContext() const {
+  plan::ExecContext context;
+  context.pool = pool_.get();
+  context.simd = options_.simd;
+  context.cost_params = cost_params_;
+  for (const auto& [key, index] : indexes_) {
+    context.indexes[key] = index;
+  }
+  // A string-key index registration also covers the optimizer-hoisted
+  // embedding column ("<column>_emb", the PrefetchEmbeddings naming).
+  // Aliases never displace an explicit registration: emplace in a second
+  // pass so "t.name_emb" registered directly beats the alias of "t.name"
+  // deterministically.
+  for (const auto& [key, index] : indexes_) {
+    context.indexes.emplace(key + "_emb", index);
+  }
+  return context;
+}
+
+// ---------------------------------------------------------------------------
+// QueryBuilder
+// ---------------------------------------------------------------------------
+
+QueryBuilder& QueryBuilder::Select(expr::PredicatePtr predicate) {
+  Step step;
+  step.kind = Step::Kind::kSelect;
+  step.predicate = std::move(predicate);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::EJoin(std::string right_table, std::string key,
+                                  join::JoinCondition condition) {
+  std::string right_key = key;
+  return EJoin(std::move(right_table), std::move(key), std::move(right_key),
+               condition);
+}
+
+QueryBuilder& QueryBuilder::EJoin(std::string right_table,
+                                  std::string left_key,
+                                  std::string right_key,
+                                  join::JoinCondition condition) {
+  Step step;
+  step.kind = Step::Kind::kEJoin;
+  step.right_table = std::move(right_table);
+  step.left_key = std::move(left_key);
+  step.right_key = std::move(right_key);
+  step.condition = condition;
+  step.model = pending_model_;
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::UsingModel(std::string model_name) {
+  pending_model_ = std::move(model_name);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Via(std::string operator_name) {
+  force_operator_ = std::move(operator_name);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::RequireExact() {
+  require_exact_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithoutOptimizer() {
+  optimize_ = false;
+  return *this;
+}
+
+Result<plan::NodePtr> QueryBuilder::Build() const {
+  CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> base,
+                       engine_->Table(table_));
+  plan::NodePtr node = plan::Scan(table_, std::move(base));
+  for (const Step& step : steps_) {
+    switch (step.kind) {
+      case Step::Kind::kSelect:
+        if (step.predicate == nullptr) {
+          return Status::InvalidArgument("Select: null predicate");
+        }
+        node = plan::Select(std::move(node), step.predicate);
+        break;
+      case Step::Kind::kEJoin: {
+        CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> right,
+                             engine_->Table(step.right_table));
+        // Resolve the model lazily: vector-key joins need none, and an
+        // unknown key column should be reported as such by the schema
+        // check below, not as a missing model.
+        const model::EmbeddingModel* model = nullptr;
+        auto right_field =
+            right->schema().FieldIndex(step.right_key);
+        const bool string_key =
+            right_field.ok() &&
+            right->schema().field(*right_field).type ==
+                storage::DataType::kString;
+        if (string_key) {
+          auto resolved = step.model.empty()
+                              ? engine_->DefaultModel()
+                              : engine_->Model(step.model);
+          CEJ_RETURN_IF_ERROR(resolved.status());
+          model = *resolved;
+        }
+        node = plan::EJoin(std::move(node),
+                           plan::Scan(step.right_table, std::move(right)),
+                           step.left_key, step.right_key, model,
+                           step.condition);
+        break;
+      }
+    }
+  }
+  // Surface malformed chains (unknown columns, type mismatches) now.
+  CEJ_RETURN_IF_ERROR(plan::OutputSchema(node).status());
+  return node;
+}
+
+Result<plan::NodePtr> QueryBuilder::OptimizedPlan() const {
+  CEJ_ASSIGN_OR_RETURN(plan::NodePtr naive, Build());
+  return optimize_ ? plan::Optimize(naive) : naive;
+}
+
+Result<std::string> QueryBuilder::Explain() const {
+  CEJ_ASSIGN_OR_RETURN(plan::NodePtr naive, Build());
+  std::string out = "— logical plan —\n" + plan::PlanToString(naive);
+  if (optimize_) {
+    out += "— optimized plan —\n" + plan::PlanToString(plan::Optimize(naive));
+  }
+  return out;
+}
+
+Result<QueryResult> QueryBuilder::Execute() const {
+  CEJ_ASSIGN_OR_RETURN(plan::NodePtr plan, OptimizedPlan());
+  plan::ExecContext context = engine_->MakeExecContext();
+  context.force_operator = force_operator_;
+  context.require_exact = require_exact_;
+  QueryResult result;
+  CEJ_ASSIGN_OR_RETURN(result.relation,
+                       plan::Execute(plan, context, &result.stats));
+  return result;
+}
+
+Result<join::JoinStats> QueryBuilder::Stream(join::JoinSink* sink,
+                                             plan::ExecStats* stats) const {
+  CEJ_ASSIGN_OR_RETURN(plan::NodePtr plan, OptimizedPlan());
+  plan::ExecContext context = engine_->MakeExecContext();
+  context.force_operator = force_operator_;
+  context.require_exact = require_exact_;
+  return plan::ExecuteToSink(plan, context, sink, stats);
+}
+
+}  // namespace cej

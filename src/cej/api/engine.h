@@ -1,0 +1,219 @@
+// The cej::Engine facade: one object that owns the catalog (tables,
+// embedding models, vector indexes — all registered by name) and turns a
+// fluent QueryBuilder chain into the full paper pipeline:
+//
+//   declarative plan -> plan::Optimize -> registry-driven physical
+//   operator selection -> execution (materialized or streamed).
+//
+//   cej::Engine engine;
+//   engine.RegisterTable("photos", photos);
+//   engine.RegisterTable("catalog", catalog);
+//   engine.RegisterModel("fasttext", &model);
+//   auto result = engine.Query("photos")
+//                     .Select(expr::Cmp("taken", expr::CmpOp::kGt, 15))
+//                     .EJoin("catalog", "word",
+//                            join::JoinCondition::Threshold(0.45f))
+//                     .Execute();
+//
+// Physical behaviour is controlled per query (Via("tensor") forces a
+// registered operator; Stream() feeds a JoinSink without materializing)
+// or per engine (thread pool, SIMD mode, calibrated cost parameters).
+// Every example and bench drives the system through this surface; the
+// free functions in cej/join remain for operator-level unit tests.
+
+#ifndef CEJ_API_ENGINE_H_
+#define CEJ_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
+#include "cej/expr/predicate.h"
+#include "cej/index/vector_index.h"
+#include "cej/join/join_operator.h"
+#include "cej/join/join_sink.h"
+#include "cej/model/embedding_model.h"
+#include "cej/plan/executor.h"
+#include "cej/plan/logical_plan.h"
+#include "cej/storage/relation.h"
+
+namespace cej {
+
+class QueryBuilder;
+
+/// A query's materialized output plus execution diagnostics (chosen
+/// physical operator, access path, cost estimates, operator counters).
+struct QueryResult {
+  storage::Relation relation;
+  plan::ExecStats stats;
+};
+
+/// The top-level entry point. Thread-compatible: concurrent queries are
+/// fine once registration is done; registration itself is not synchronized
+/// with running queries.
+class Engine {
+ public:
+  struct Options {
+    /// Worker threads for join execution; 0 runs on the calling thread.
+    int num_threads = 0;
+    la::SimdMode simd = la::SimdMode::kAuto;
+  };
+
+  Engine();
+  explicit Engine(const Options& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Catalog -----------------------------------------------------------
+
+  /// Registers a table under `name`; fails with kAlreadyExists on reuse.
+  Status RegisterTable(std::string name, storage::Relation table);
+  Status RegisterTable(std::string name,
+                       std::shared_ptr<const storage::Relation> table);
+
+  /// Registers a borrowed model (must outlive the engine). The first
+  /// registered model becomes the default for EJoin embedding.
+  Status RegisterModel(std::string name, const model::EmbeddingModel* model);
+  /// Owning overload.
+  Status RegisterModel(std::string name,
+                       std::unique_ptr<const model::EmbeddingModel> model);
+  Status SetDefaultModel(const std::string& name);
+
+  /// Registers a borrowed prebuilt vector index over `table`.`column`.
+  /// `column` is the *join key* column: for stored vector columns the
+  /// index covers them directly; for string keys it covers the embeddings
+  /// the optimizer hoists (the "<column>_emb" output — aliased
+  /// automatically). The index must have one entry per base-table row.
+  Status RegisterIndex(const std::string& table, const std::string& column,
+                       const index::VectorIndex* index);
+
+  Result<std::shared_ptr<const storage::Relation>> Table(
+      const std::string& name) const;
+  Result<const model::EmbeddingModel*> Model(const std::string& name) const;
+  Result<const model::EmbeddingModel*> DefaultModel() const;
+
+  // --- Querying ----------------------------------------------------------
+
+  /// Starts a fluent query over a registered table. Errors (unknown
+  /// table/model, malformed chains) surface at Execute()/Stream() time.
+  QueryBuilder Query(std::string table) const;
+
+  // --- Environment -------------------------------------------------------
+
+  /// Micro-benchmarks the host against `model` to replace the default
+  /// cost-model parameters (plan::Calibrate).
+  void CalibrateCosts(const model::EmbeddingModel& model);
+  void set_cost_params(const plan::CostParams& params) {
+    cost_params_ = params;
+  }
+  const plan::CostParams& cost_params() const { return cost_params_; }
+
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// The execution context queries run under — exposed for advanced
+  /// callers mixing the facade with the plan layer.
+  plan::ExecContext MakeExecContext() const;
+
+ private:
+  friend class QueryBuilder;
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  plan::CostParams cost_params_;
+
+  std::unordered_map<std::string, std::shared_ptr<const storage::Relation>>
+      tables_;
+  std::unordered_map<std::string, const model::EmbeddingModel*> models_;
+  std::vector<std::unique_ptr<const model::EmbeddingModel>> owned_models_;
+  std::string default_model_;
+  std::unordered_map<std::string, const index::VectorIndex*> indexes_;
+};
+
+/// Fluent construction of a logical plan over the engine's catalog.
+/// Builders are cheap value types; each call appends one step. The chain
+/// is validated when the plan is built (Execute/Stream/Explain).
+class QueryBuilder {
+ public:
+  /// sigma_theta: relational predicate over the current plan's columns
+  /// (after a join: the joined schema, including "similarity").
+  QueryBuilder& Select(expr::PredicatePtr predicate);
+
+  /// E-join against a registered table on the same-named key column.
+  QueryBuilder& EJoin(std::string right_table, std::string key,
+                      join::JoinCondition condition);
+  /// E-join with distinct key column names.
+  QueryBuilder& EJoin(std::string right_table, std::string left_key,
+                      std::string right_key, join::JoinCondition condition);
+
+  /// Uses the named registered model for subsequent EJoin embedding
+  /// (default: the engine's default model).
+  QueryBuilder& UsingModel(std::string model_name);
+
+  /// Forces the named physical operator from the registry ("tensor",
+  /// "index", "prefetch_nlj", "naive_nlj", or an extension).
+  QueryBuilder& Via(std::string operator_name);
+
+  /// Restricts cost-based operator selection to exact implementations:
+  /// approximate index probes (recall < 1) are never auto-chosen. An
+  /// explicit Via() still overrides.
+  QueryBuilder& RequireExact();
+
+  /// Skips plan::Optimize — the Figure 8 naive baseline.
+  QueryBuilder& WithoutOptimizer();
+
+  /// The logical plan before / after optimization.
+  Result<plan::NodePtr> Build() const;
+  Result<plan::NodePtr> OptimizedPlan() const;
+
+  /// EXPLAIN-style rendering of both plans.
+  Result<std::string> Explain() const;
+
+  /// Optimizes and executes, materializing the result relation.
+  Result<QueryResult> Execute() const;
+
+  /// Optimizes and executes with the final join streaming into `sink`
+  /// (no result materialization; the plan must end in an EJoin). Pair ids
+  /// address the rows of the join's *immediate* input relations — i.e.
+  /// positions AFTER any Select below the join, not registered-table
+  /// rows (and base-table rows on index-probe plans). Map ids back
+  /// through your predicate, or use Execute() for resolved rows. Stats
+  /// cover the work performed, which is less than the full cross product
+  /// when the sink stops early.
+  Result<join::JoinStats> Stream(join::JoinSink* sink,
+                                 plan::ExecStats* stats = nullptr) const;
+
+ private:
+  friend class Engine;
+
+  struct Step {
+    enum class Kind { kSelect, kEJoin };
+    Kind kind;
+    // kSelect
+    expr::PredicatePtr predicate;
+    // kEJoin
+    std::string right_table;
+    std::string left_key, right_key;
+    join::JoinCondition condition;
+    std::string model;  // Empty = engine default.
+  };
+
+  QueryBuilder(const Engine* engine, std::string table)
+      : engine_(engine), table_(std::move(table)) {}
+
+  const Engine* engine_;
+  std::string table_;
+  std::vector<Step> steps_;
+  std::string pending_model_;   // Set by UsingModel for the next joins.
+  std::string force_operator_;  // Set by Via.
+  bool optimize_ = true;
+  bool require_exact_ = false;
+};
+
+}  // namespace cej
+
+#endif  // CEJ_API_ENGINE_H_

@@ -1,38 +1,34 @@
 #include "cej/join/index_join.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "cej/common/timer.h"
+#include "cej/join/join_sink.h"
 
 namespace cej::join {
 
-Result<JoinResult> IndexJoin(const la::Matrix& left,
-                             const index::VectorIndex& right_index,
-                             const JoinCondition& condition,
-                             const IndexJoinOptions& options) {
-  if (left.cols() != right_index.dim()) {
-    return Status::InvalidArgument(
-        "index join: query dim " + std::to_string(left.cols()) +
-        " != index dim " + std::to_string(right_index.dim()));
-  }
-  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
-    return Status::InvalidArgument("index join: top-k with k == 0");
-  }
+Result<JoinStats> IndexJoinToSink(const la::Matrix& left,
+                                  const index::VectorIndex& right_index,
+                                  const JoinCondition& condition,
+                                  const IndexJoinOptions& options,
+                                  JoinSink* sink) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinDims(left.cols(), right_index.dim()));
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
   if (options.filter != nullptr &&
       options.filter->size() != right_index.size()) {
     return Status::InvalidArgument(
         "index join: filter bitmap size mismatch");
   }
 
-  JoinResult result;
+  JoinStats stats;
   WallTimer timer;
   const uint64_t probes_before = right_index.distance_computations();
-  std::mutex merge_mu;
+  SinkFeed feed(sink);
 
   auto probe_rows = [&](size_t row_begin, size_t row_end) {
     std::vector<JoinPair> local;
     for (size_t i = row_begin; i < row_end; ++i) {
+      if (feed.stopped()) break;
       std::vector<la::ScoredId> matches;
       if (condition.kind == JoinCondition::Kind::kTopK) {
         matches = right_index.SearchTopK(left.Row(i), condition.k,
@@ -45,9 +41,9 @@ Result<JoinResult> IndexJoin(const la::Matrix& left,
         local.push_back({static_cast<uint32_t>(i),
                          static_cast<uint32_t>(scored.id), scored.score});
       }
+      feed.MaybeDeliver(&local);
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+    feed.Deliver(&local);
   };
 
   if (options.pool != nullptr && left.rows() > 1) {
@@ -56,7 +52,8 @@ Result<JoinResult> IndexJoin(const la::Matrix& left,
     const size_t wave = options.max_batched_probes == 0
                             ? left.rows()
                             : options.max_batched_probes;
-    for (size_t begin = 0; begin < left.rows(); begin += wave) {
+    for (size_t begin = 0; begin < left.rows() && !feed.stopped();
+         begin += wave) {
       const size_t end = std::min(left.rows(), begin + wave);
       options.pool->ParallelForRange(begin, end, probe_rows);
     }
@@ -64,10 +61,24 @@ Result<JoinResult> IndexJoin(const la::Matrix& left,
     probe_rows(0, left.rows());
   }
 
-  SortPairs(&result.pairs);
-  result.stats.join_seconds = timer.ElapsedSeconds();
-  result.stats.similarity_computations =
+  stats.join_seconds = timer.ElapsedSeconds();
+  stats.similarity_computations =
       right_index.distance_computations() - probes_before;
+  sink->Finish();
+  return stats;
+}
+
+Result<JoinResult> IndexJoin(const la::Matrix& left,
+                             const index::VectorIndex& right_index,
+                             const JoinCondition& condition,
+                             const IndexJoinOptions& options) {
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(JoinStats stats,
+                       IndexJoinToSink(left, right_index, condition, options,
+                                       &sink));
+  JoinResult result;
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "cej/common/status.h"
 #include "cej/index/vector_index.h"
 #include "cej/join/join_common.h"
+#include "cej/join/join_sink.h"
 
 namespace cej::join {
 
@@ -33,6 +34,15 @@ Result<JoinResult> IndexJoin(const la::Matrix& left,
                              const index::VectorIndex& right_index,
                              const JoinCondition& condition,
                              const IndexJoinOptions& options = {});
+
+/// Streaming form: emits pair chunks into `sink` (unordered; honours early
+/// termination at probe granularity) and returns counters for the work
+/// actually performed.
+Result<JoinStats> IndexJoinToSink(const la::Matrix& left,
+                                  const index::VectorIndex& right_index,
+                                  const JoinCondition& condition,
+                                  const IndexJoinOptions& options,
+                                  JoinSink* sink);
 
 }  // namespace cej::join
 

@@ -12,6 +12,13 @@
 //
 // All four return identical pairs on exact paths (the index path is
 // approximate); tests cross-validate them.
+//
+// The operators are registrable implementations of the polymorphic
+// join::JoinOperator interface (join_operator.h) and stream their output
+// through join::JoinSink (join_sink.h); the cej::Engine facade
+// (cej/api/engine.h) and the plan executor select among them via the
+// registry. The free functions above each operator remain as materializing
+// conveniences for operator-level work.
 
 #ifndef CEJ_JOIN_JOIN_COMMON_H_
 #define CEJ_JOIN_JOIN_COMMON_H_
@@ -73,7 +80,14 @@ struct JoinStats {
   size_t peak_buffer_bytes = 0;      ///< Largest intermediate buffer.
   double embed_seconds = 0.0;        ///< Time spent in the model.
   double join_seconds = 0.0;         ///< Time spent matching vectors.
+
+  /// Merges counters from a sub-step: counts and times accumulate, the
+  /// peak buffer is the maximum across steps. Every operator and the
+  /// executor use this instead of field-by-field accumulation.
+  JoinStats& operator+=(const JoinStats& other);
 };
+
+JoinStats operator+(JoinStats lhs, const JoinStats& rhs);
 
 /// Result pairs plus counters. Pairs are sorted by (left, right).
 struct JoinResult {
@@ -92,8 +106,17 @@ struct JoinOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Validates that two embedded sides are joinable (same non-zero dim).
+/// Single source of the error text: every operator — FP32, FP16 and
+/// index-backed — reports the identical message for mismatched dims.
+Status ValidateJoinDims(size_t left_dim, size_t right_dim);
+
 /// Validates that two embedding batches are joinable (same non-zero dim).
 Status ValidateJoinInputs(const la::Matrix& left, const la::Matrix& right);
+
+/// Validates the condition itself (rejects top-k with k == 0), with one
+/// shared error text across operators.
+Status ValidateJoinCondition(const JoinCondition& condition);
 
 }  // namespace cej::join
 

@@ -1,0 +1,40 @@
+#include "cej/join/join_cost.h"
+
+#include <cmath>
+
+namespace cej::join {
+
+double ESelectionCost(size_t n, const CostParams& p) {
+  return static_cast<double>(n) * (p.access + p.model + p.compute);
+}
+
+double NaiveENljCost(size_t m, size_t n, const CostParams& p) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+         (p.access + p.model + p.compute);
+}
+
+double PrefetchENljCost(size_t m, size_t n, const CostParams& p) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+             (p.access + p.compute) +
+         static_cast<double>(m + n) * p.model;
+}
+
+double TensorJoinCost(size_t m, size_t n, const CostParams& p) {
+  return static_cast<double>(m) * static_cast<double>(n) *
+             (p.access + p.compute) * p.tensor_efficiency +
+         static_cast<double>(m + n) * p.model;
+}
+
+double IndexProbeCost(size_t n, const CostParams& p) {
+  const double depth = n > 1 ? std::log(static_cast<double>(n)) : 1.0;
+  return p.probe_base + p.probe_per_candidate *
+                            static_cast<double>(p.probe_ef) * depth *
+                            (p.access + p.compute);
+}
+
+double IndexJoinCost(size_t m, size_t n, const CostParams& p) {
+  return static_cast<double>(m) * IndexProbeCost(n, p) +
+         static_cast<double>(m) * p.model;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,381 @@
+#include "cej/join/join_operator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cej/common/timer.h"
+#include "cej/join/index_join.h"
+#include "cej/join/nlj_naive.h"
+#include "cej/join/nlj_prefetch.h"
+#include "cej/join/tensor_join.h"
+
+namespace cej::join {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool HasStrings(const JoinInputs& in) {
+  return in.left_strings != nullptr && in.right_strings != nullptr &&
+         in.model != nullptr && in.model->dim() > 0;
+}
+
+bool HasModel(const JoinInputs& in) {
+  return in.model != nullptr && in.model->dim() > 0;
+}
+
+bool HasLeftSide(const JoinInputs& in) {
+  return in.left_vectors != nullptr ||
+         (in.left_strings != nullptr && HasModel(in));
+}
+
+bool HasRightSide(const JoinInputs& in) {
+  return in.right_vectors != nullptr ||
+         (in.right_strings != nullptr && HasModel(in));
+}
+
+// |S| surviving the pushed-down relational predicates.
+size_t FilteredRight(const JoinWorkload& w) {
+  const double sel = std::clamp(w.right_selectivity, 0.0, 1.0);
+  return static_cast<size_t>(static_cast<double>(w.right_rows) * sel + 0.5);
+}
+
+// Ensures both sides exist in the vector domain, embedding the string
+// representation on demand (the prefetch primitive) — per side, so a
+// caller with one side already embedded (e.g. a cached left batch plus a
+// fresh right feed) never has its supplied vectors ignored or recomputed.
+// `storage` keeps freshly embedded matrices alive; `stats` absorbs the
+// model counters.
+Status MaterializeVectors(const JoinInputs& in, const la::Matrix** left,
+                          const la::Matrix** right,
+                          std::pair<la::Matrix, la::Matrix>* storage,
+                          JoinStats* stats) {
+  *left = in.left_vectors;
+  *right = in.right_vectors;
+  if (*left != nullptr && *right != nullptr) return Status::OK();
+  if ((*left == nullptr && in.left_strings == nullptr) ||
+      (*right == nullptr && in.right_strings == nullptr) || !HasModel(in)) {
+    return Status::InvalidArgument(
+        "E-join: operator needs embedded vectors (or strings plus a "
+        "model) on both sides");
+  }
+  JoinStats embed_stats;
+  const uint64_t calls_before = in.model->embed_calls();
+  WallTimer timer;
+  if (*left == nullptr) {
+    storage->first = in.model->EmbedBatch(*in.left_strings);
+    embed_stats.peak_buffer_bytes += storage->first.MemoryBytes();
+    *left = &storage->first;
+  }
+  if (*right == nullptr) {
+    storage->second = in.model->EmbedBatch(*in.right_strings);
+    embed_stats.peak_buffer_bytes += storage->second.MemoryBytes();
+    *right = &storage->second;
+  }
+  embed_stats.embed_seconds = timer.ElapsedSeconds();
+  embed_stats.model_calls = in.model->embed_calls() - calls_before;
+  *stats += embed_stats;
+  return Status::OK();
+}
+
+// Ensures the left side exists in the vector domain (probe queries).
+Status MaterializeLeftVectors(const JoinInputs& in, const la::Matrix** left,
+                              la::Matrix* storage, JoinStats* stats) {
+  if (in.left_vectors != nullptr) {
+    *left = in.left_vectors;
+    return Status::OK();
+  }
+  if (in.left_strings == nullptr || in.model == nullptr ||
+      in.model->dim() == 0) {
+    return Status::InvalidArgument(
+        "E-join: operator needs left vectors or left strings plus a model");
+  }
+  JoinStats embed_stats;
+  const uint64_t calls_before = in.model->embed_calls();
+  WallTimer timer;
+  *storage = in.model->EmbedBatch(*in.left_strings);
+  embed_stats.embed_seconds = timer.ElapsedSeconds();
+  embed_stats.model_calls = in.model->embed_calls() - calls_before;
+  embed_stats.peak_buffer_bytes = storage->MemoryBytes();
+  *stats += embed_stats;
+  *left = storage;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// naive_nlj — the Figure 8 baseline: model invoked inside the pair loop.
+// ---------------------------------------------------------------------------
+class NaiveNljOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "naive_nlj"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    t.needs_strings = true;
+    t.supports_topk = false;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    return static_cast<double>(w.right_rows) * p.access +
+           NaiveENljCost(w.left_rows, FilteredRight(w), p);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    return NaiveNljJoinToSink(*inputs.left_strings, *inputs.right_strings,
+                              *inputs.model, condition.threshold, options,
+                              sink);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// prefetch_nlj — embed once, pairwise NLJ over cached vectors.
+// ---------------------------------------------------------------------------
+class PrefetchNljOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "prefetch_nlj"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    t.needs_vectors = true;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    return static_cast<double>(w.right_rows) * p.access +
+           PrefetchENljCost(w.left_rows, FilteredRight(w), p);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    JoinStats total;
+    const la::Matrix* left = nullptr;
+    const la::Matrix* right = nullptr;
+    std::pair<la::Matrix, la::Matrix> storage;
+    CEJ_RETURN_IF_ERROR(
+        MaterializeVectors(inputs, &left, &right, &storage, &total));
+    NljOptions nlj_options;
+    static_cast<JoinOptions&>(nlj_options) = options;
+    CEJ_ASSIGN_OR_RETURN(
+        JoinStats join_stats,
+        NljJoinMatricesToSink(*left, *right, condition, nlj_options, sink));
+    total += join_stats;
+    return total;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// tensor — blocked-GEMM similarity sweep (Figures 6/7).
+// ---------------------------------------------------------------------------
+class TensorJoinOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "tensor"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    t.needs_vectors = true;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    // Filter S (linear), then tensor-join against the survivors — the
+    // "scan" access path of Section VI.E.
+    return static_cast<double>(w.right_rows) * p.access +
+           TensorJoinCost(w.left_rows, FilteredRight(w), p);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    JoinStats total;
+    const la::Matrix* left = nullptr;
+    const la::Matrix* right = nullptr;
+    std::pair<la::Matrix, la::Matrix> storage;
+    CEJ_RETURN_IF_ERROR(
+        MaterializeVectors(inputs, &left, &right, &storage, &total));
+    TensorJoinOptions tensor_options;
+    static_cast<JoinOptions&>(tensor_options) = options;
+    CEJ_ASSIGN_OR_RETURN(JoinStats join_stats,
+                         TensorJoinMatricesToSink(*left, *right, condition,
+                                                  tensor_options, sink));
+    total += join_stats;
+    return total;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// index — per-tuple probes into a prebuilt vector index (Section IV.B).
+// ---------------------------------------------------------------------------
+class IndexJoinOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "index"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    t.needs_index = true;
+    t.exact = false;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    if (!w.index_available) return kInf;
+    // Per-probe traversal over the FULL index (pre-filter semantics), with
+    // the beam inflated for top-k > 1 and further for range conditions
+    // (which probe via the top-k mechanism and post-filter). Beam factors
+    // reproduce the paper's relative crossover shifts: k=32 costs ~3x a
+    // top-1 probe (Fig 16); range probes another ~2x (Fig 17).
+    CostParams probe_params = p;
+    double beam_factor;
+    if (w.condition.kind == JoinCondition::Kind::kTopK) {
+      beam_factor =
+          1.0 +
+          static_cast<double>(std::max<size_t>(w.condition.k, 1)) / 16.0;
+    } else {
+      beam_factor = 3.0;  // Top-k=32 retrieval mechanism under the hood.
+      probe_params.probe_per_candidate *= 2.0;
+    }
+    probe_params.probe_ef = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(p.probe_ef) *
+                               beam_factor));
+    return IndexJoinCost(w.left_rows, w.right_rows, probe_params);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    JoinStats total;
+    const la::Matrix* left = nullptr;
+    la::Matrix storage;
+    CEJ_RETURN_IF_ERROR(
+        MaterializeLeftVectors(inputs, &left, &storage, &total));
+    IndexJoinOptions index_options;
+    static_cast<JoinOptions&>(index_options) = options;
+    index_options.filter = inputs.right_filter;
+    CEJ_ASSIGN_OR_RETURN(
+        JoinStats join_stats,
+        IndexJoinToSink(*left, *inputs.right_index, condition, index_options,
+                        sink));
+    total += join_stats;
+    return total;
+  }
+};
+
+}  // namespace
+
+Status JoinOperator::ValidateInputs(const JoinInputs& inputs,
+                                    const JoinCondition& condition) const {
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
+  const JoinOperatorTraits traits = Traits();
+  const std::string name(Name());
+  if (condition.kind == JoinCondition::Kind::kTopK && !traits.supports_topk) {
+    return Status::Unimplemented(
+        name + ": top-k conditions unsupported; run plan::Optimize (or use "
+               "a prefetched operator) to enable top-k");
+  }
+  if (condition.kind == JoinCondition::Kind::kThreshold &&
+      !traits.supports_threshold) {
+    return Status::Unimplemented(name +
+                                 ": threshold conditions unsupported");
+  }
+  if (traits.needs_strings && !HasStrings(inputs)) {
+    return Status::InvalidArgument(
+        name + ": requires string inputs and an embedding model");
+  }
+  if (traits.needs_vectors &&
+      (!HasLeftSide(inputs) || !HasRightSide(inputs))) {
+    return Status::InvalidArgument(
+        name + ": requires embedded vectors (or strings plus a model) on "
+               "both sides");
+  }
+  if (traits.needs_index) {
+    if (inputs.right_index == nullptr) {
+      return Status::InvalidArgument(name +
+                                     ": requires a right-side vector index");
+    }
+    if (!HasLeftSide(inputs)) {
+      return Status::InvalidArgument(
+          name + ": requires left vectors (or strings plus a model)");
+    }
+  }
+  return Status::OK();
+}
+
+JoinOperatorRegistry& JoinOperatorRegistry::Global() {
+  static JoinOperatorRegistry* registry = [] {
+    auto* r = new JoinOperatorRegistry();
+    CEJ_CHECK(r->Register(MakeNaiveNljOperator()).ok());
+    CEJ_CHECK(r->Register(MakePrefetchNljOperator()).ok());
+    CEJ_CHECK(r->Register(MakeTensorJoinOperator()).ok());
+    CEJ_CHECK(r->Register(MakeIndexJoinOperator()).ok());
+    return r;
+  }();
+  return *registry;
+}
+
+Status JoinOperatorRegistry::Register(
+    std::unique_ptr<const JoinOperator> op) {
+  CEJ_CHECK(op != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : ops_) {
+    if (existing->Name() == op->Name()) {
+      return Status::AlreadyExists("join operator '" +
+                                   std::string(op->Name()) +
+                                   "' already registered");
+    }
+  }
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<const JoinOperator*> JoinOperatorRegistry::Find(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& op : ops_) {
+    if (op->Name() == name) return op.get();
+  }
+  std::string known;
+  for (const auto& op : ops_) {
+    if (!known.empty()) known += ", ";
+    known += std::string(op->Name());
+  }
+  return Status::NotFound("no join operator named '" + std::string(name) +
+                          "' (registered: " + known + ")");
+}
+
+std::vector<const JoinOperator*> JoinOperatorRegistry::operators() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const JoinOperator*> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op.get());
+  return out;
+}
+
+std::unique_ptr<const JoinOperator> MakeNaiveNljOperator() {
+  return std::make_unique<NaiveNljOperator>();
+}
+std::unique_ptr<const JoinOperator> MakePrefetchNljOperator() {
+  return std::make_unique<PrefetchNljOperator>();
+}
+std::unique_ptr<const JoinOperator> MakeTensorJoinOperator() {
+  return std::make_unique<TensorJoinOperator>();
+}
+std::unique_ptr<const JoinOperator> MakeIndexJoinOperator() {
+  return std::make_unique<IndexJoinOperator>();
+}
+
+}  // namespace cej::join

@@ -1,0 +1,38 @@
+#include "cej/join/join_sink.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cej::join {
+
+size_t MaterializingSink::Capacity() const {
+  size_t cap = std::numeric_limits<size_t>::max();
+  if (options_.max_pairs > 0) cap = options_.max_pairs;
+  if (options_.memory_budget_bytes > 0) {
+    cap = std::min(cap, options_.memory_budget_bytes / sizeof(JoinPair));
+  }
+  return cap;
+}
+
+bool MaterializingSink::Consume(const JoinPair* pairs, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t cap = Capacity();
+  if (pairs_.size() >= cap) {
+    truncated_ = true;
+    return false;
+  }
+  const size_t take = std::min(count, cap - pairs_.size());
+  pairs_.insert(pairs_.end(), pairs, pairs + take);
+  if (take < count) truncated_ = true;
+  return pairs_.size() < cap;
+}
+
+void MaterializingSink::Finish() { SortPairs(&pairs_); }
+
+bool CountingSink::Consume(const JoinPair* /*pairs*/, size_t count) {
+  const size_t total =
+      count_.fetch_add(count, std::memory_order_relaxed) + count;
+  return limit_ == 0 || total < limit_;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,153 @@
+// Streaming consumption of E-join output.
+//
+// Operators produce matched pairs in chunks as they are discovered instead
+// of mandatorily materializing a full JoinResult: a JoinSink receives each
+// chunk and may request early termination by returning false — the
+// operator then stops scheduling work and returns the statistics of the
+// work actually performed. This is what lets LIMIT-style queries, paged
+// result shipping, and memory-bounded execution avoid paying for the whole
+// |R| x |S| result.
+//
+// Contract:
+//  * Consume() may be invoked concurrently from worker threads; sinks must
+//    be thread-safe. Chunks arrive in no particular order.
+//  * A false return is a *request*: workers poll it at chunk granularity,
+//    so a bounded number of further Consume() calls may still arrive.
+//  * Finish() is invoked exactly once, after the last Consume(), when the
+//    operator completes without error (including after early termination).
+
+#ifndef CEJ_JOIN_JOIN_SINK_H_
+#define CEJ_JOIN_JOIN_SINK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "cej/join/join_common.h"
+
+namespace cej::join {
+
+/// Abstract streaming consumer of join pairs.
+class JoinSink {
+ public:
+  virtual ~JoinSink() = default;
+
+  /// Receives `count` matched pairs. Returns false to request early
+  /// termination of the producing operator. Thread-safe.
+  virtual bool Consume(const JoinPair* pairs, size_t count) = 0;
+
+  /// Called once when the operator finishes producing (also after early
+  /// termination). Not called when the operator returns an error.
+  virtual void Finish() {}
+};
+
+/// Materializes the stream into a canonical (left, right)-sorted pair
+/// vector — the JoinResult contract — with optional bounds. Once either
+/// bound is reached the sink requests termination and marks itself
+/// truncated; pairs beyond the bound are dropped.
+class MaterializingSink : public JoinSink {
+ public:
+  struct Options {
+    /// Keep at most this many pairs (0 = unbounded).
+    size_t max_pairs = 0;
+    /// Keep at most this many bytes of pairs (0 = unbounded).
+    size_t memory_budget_bytes = 0;
+  };
+
+  MaterializingSink() = default;
+  explicit MaterializingSink(Options options) : options_(options) {}
+
+  bool Consume(const JoinPair* pairs, size_t count) override;
+  void Finish() override;
+
+  /// True when a bound cut the stream short.
+  bool truncated() const { return truncated_; }
+  const std::vector<JoinPair>& pairs() const { return pairs_; }
+  std::vector<JoinPair> TakePairs() { return std::move(pairs_); }
+
+ private:
+  size_t Capacity() const;
+
+  Options options_;
+  std::mutex mu_;
+  std::vector<JoinPair> pairs_;
+  bool truncated_ = false;
+};
+
+/// Counts matches without materializing them; optionally stops the
+/// operator once `limit` pairs have been seen. count() is pairs
+/// *observed*, not pairs kept: chunks are counted whole, so it can
+/// exceed `limit` by up to the in-flight chunk sizes — use
+/// MaterializingSink::Options::max_pairs for an exact LIMIT.
+class CountingSink : public JoinSink {
+ public:
+  CountingSink() = default;
+  explicit CountingSink(size_t limit) : limit_(limit) {}
+
+  bool Consume(const JoinPair* pairs, size_t count) override;
+
+  size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  size_t limit_ = 0;
+  std::atomic<size_t> count_{0};
+};
+
+/// Adapts a callable `bool(const JoinPair*, size_t)` into a sink. The
+/// callable must be thread-safe.
+class CallbackSink : public JoinSink {
+ public:
+  using Callback = std::function<bool(const JoinPair*, size_t)>;
+  explicit CallbackSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  bool Consume(const JoinPair* pairs, size_t count) override {
+    return callback_(pairs, count);
+  }
+
+ private:
+  Callback callback_;
+};
+
+/// Pairs per worker-local buffer before a flush to the sink. Large enough
+/// to amortize the virtual call, small enough that early termination is
+/// responsive.
+inline constexpr size_t kSinkChunkPairs = 4096;
+
+/// Shared by operator implementations: fan-in point from worker-local pair
+/// buffers into one sink, carrying the cooperative stop flag. Workers call
+/// Deliver() when their buffer fills (and once at the end of their range)
+/// and poll stopped() in their outer loops.
+class SinkFeed {
+ public:
+  explicit SinkFeed(JoinSink* sink) : sink_(sink) {}
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Flushes and clears `local`. A false Consume() latches the stop flag.
+  /// Already-computed pairs are still delivered after a stop request (the
+  /// sink decides to drop them) so bounded sinks can tell "stream ended
+  /// exactly at my bound" apart from "pairs were cut off".
+  void Deliver(std::vector<JoinPair>* local) {
+    if (local->empty()) return;
+    if (!sink_->Consume(local->data(), local->size())) {
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    local->clear();
+  }
+
+  /// Flushes `local` only when it has grown past the chunk size.
+  void MaybeDeliver(std::vector<JoinPair>* local) {
+    if (local->size() >= kSinkChunkPairs) Deliver(local);
+  }
+
+ private:
+  JoinSink* sink_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_JOIN_SINK_H_

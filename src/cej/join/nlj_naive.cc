@@ -1,31 +1,35 @@
 #include "cej/join/nlj_naive.h"
 
-#include <mutex>
+#include <atomic>
 
 #include "cej/common/timer.h"
+#include "cej/join/join_sink.h"
 #include "cej/la/simd.h"
 
 namespace cej::join {
 
-Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
-                                const std::vector<std::string>& right,
-                                const model::EmbeddingModel& model,
-                                float threshold,
-                                const JoinOptions& options) {
+Result<JoinStats> NaiveNljJoinToSink(const std::vector<std::string>& left,
+                                     const std::vector<std::string>& right,
+                                     const model::EmbeddingModel& model,
+                                     float threshold,
+                                     const JoinOptions& options,
+                                     JoinSink* sink) {
   if (model.dim() == 0) {
     return Status::InvalidArgument("naive NLJ: model has dim 0");
   }
-  JoinResult result;
+  JoinStats stats;
   const size_t dim = model.dim();
   const uint64_t model_calls_before = model.embed_calls();
   WallTimer timer;
+  SinkFeed feed(sink);
+  std::atomic<uint64_t> sims{0};
 
-  std::mutex merge_mu;
   auto run_rows = [&](size_t row_begin, size_t row_end) {
     std::vector<float> left_vec(dim);
     std::vector<float> right_vec(dim);
     std::vector<JoinPair> local;
     for (size_t i = row_begin; i < row_end; ++i) {
+      if (feed.stopped()) break;
       for (size_t j = 0; j < right.size(); ++j) {
         // The defining inefficiency: both operands are re-embedded for
         // every pair, as an imperative user integration would do.
@@ -36,11 +40,15 @@ Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
         if (sim >= threshold) {
           local.push_back({static_cast<uint32_t>(i),
                            static_cast<uint32_t>(j), sim});
+          // Flush inside the inner loop too: one low-threshold outer row
+          // can match all of |S|, and chunked emission must hold then.
+          feed.MaybeDeliver(&local);
         }
       }
+      sims.fetch_add(right.size(), std::memory_order_relaxed);
+      feed.MaybeDeliver(&local);
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
+    feed.Deliver(&local);
   };
 
   if (options.pool != nullptr) {
@@ -49,11 +57,25 @@ Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
     run_rows(0, left.size());
   }
 
-  SortPairs(&result.pairs);
-  result.stats.join_seconds = timer.ElapsedSeconds();
-  result.stats.model_calls = model.embed_calls() - model_calls_before;
-  result.stats.similarity_computations =
-      static_cast<uint64_t>(left.size()) * right.size();
+  stats.join_seconds = timer.ElapsedSeconds();
+  stats.model_calls = model.embed_calls() - model_calls_before;
+  stats.similarity_computations = sims.load(std::memory_order_relaxed);
+  sink->Finish();
+  return stats;
+}
+
+Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
+                                const std::vector<std::string>& right,
+                                const model::EmbeddingModel& model,
+                                float threshold,
+                                const JoinOptions& options) {
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(JoinStats stats,
+                       NaiveNljJoinToSink(left, right, model, threshold,
+                                          options, &sink));
+  JoinResult result;
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include "cej/common/status.h"
 #include "cej/join/join_common.h"
+#include "cej/join/join_sink.h"
 #include "cej/model/embedding_model.h"
 
 namespace cej::join {
@@ -24,6 +25,15 @@ Result<JoinResult> NaiveNljJoin(const std::vector<std::string>& left,
                                 const model::EmbeddingModel& model,
                                 float threshold,
                                 const JoinOptions& options = {});
+
+/// Streaming form: emits pair chunks into `sink` (unordered; honours early
+/// termination) and returns counters for the work actually performed.
+Result<JoinStats> NaiveNljJoinToSink(const std::vector<std::string>& left,
+                                     const std::vector<std::string>& right,
+                                     const model::EmbeddingModel& model,
+                                     float threshold,
+                                     const JoinOptions& options,
+                                     JoinSink* sink);
 
 }  // namespace cej::join
 

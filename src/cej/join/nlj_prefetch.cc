@@ -1,24 +1,25 @@
 #include "cej/join/nlj_prefetch.h"
 
-#include <mutex>
+#include <atomic>
 
 #include "cej/common/timer.h"
+#include "cej/join/join_sink.h"
 #include "cej/la/topk.h"
 
 namespace cej::join {
 namespace {
 
 // Threshold NLJ over matrices with the requested loop order. Parallelism is
-// over the outer relation; each worker emits into a local buffer merged
-// under a mutex, then pairs are canonically sorted.
+// over the outer relation; each worker streams a local buffer into the
+// sink feed and polls the stop flag between outer rows.
 void ThresholdNlj(const la::Matrix& outer, const la::Matrix& inner,
                   float threshold, bool swapped, const NljOptions& options,
-                  std::vector<JoinPair>* pairs) {
+                  SinkFeed* feed, std::atomic<uint64_t>* sims) {
   const size_t dim = outer.cols();
-  std::mutex merge_mu;
   auto run_rows = [&](size_t row_begin, size_t row_end) {
     std::vector<JoinPair> local;
     for (size_t i = row_begin; i < row_end; ++i) {
+      if (feed->stopped()) break;
       const float* outer_vec = outer.Row(i);
       for (size_t j = 0; j < inner.rows(); ++j) {
         const float sim =
@@ -27,11 +28,15 @@ void ThresholdNlj(const la::Matrix& outer, const la::Matrix& inner,
           const uint32_t l = static_cast<uint32_t>(swapped ? j : i);
           const uint32_t r = static_cast<uint32_t>(swapped ? i : j);
           local.push_back({l, r, sim});
+          // Flush inside the inner loop too: one low-threshold outer row
+          // can match all of |S|, and chunked emission must hold then.
+          feed->MaybeDeliver(&local);
         }
       }
+      sims->fetch_add(inner.rows(), std::memory_order_relaxed);
+      feed->MaybeDeliver(&local);
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    pairs->insert(pairs->end(), local.begin(), local.end());
+    feed->Deliver(&local);
   };
   if (options.pool != nullptr) {
     options.pool->ParallelForRange(0, outer.rows(), run_rows);
@@ -41,14 +46,15 @@ void ThresholdNlj(const la::Matrix& outer, const la::Matrix& inner,
 }
 
 // Top-k per left row. Parallelism over left rows: each row's collector is
-// owned by exactly one worker, so no synchronization beyond result merge.
+// owned by exactly one worker, so no synchronization beyond sink delivery.
 void TopKNlj(const la::Matrix& left, const la::Matrix& right, size_t k,
-             const NljOptions& options, std::vector<JoinPair>* pairs) {
+             const NljOptions& options, SinkFeed* feed,
+             std::atomic<uint64_t>* sims) {
   const size_t dim = left.cols();
-  std::mutex merge_mu;
   auto run_rows = [&](size_t row_begin, size_t row_end) {
     std::vector<JoinPair> local;
     for (size_t i = row_begin; i < row_end; ++i) {
+      if (feed->stopped()) break;
       la::TopKCollector collector(k);
       const float* left_vec = left.Row(i);
       for (size_t j = 0; j < right.rows(); ++j) {
@@ -59,9 +65,10 @@ void TopKNlj(const la::Matrix& left, const la::Matrix& right, size_t k,
         local.push_back({static_cast<uint32_t>(i),
                          static_cast<uint32_t>(scored.id), scored.score});
       }
+      sims->fetch_add(right.rows(), std::memory_order_relaxed);
+      feed->MaybeDeliver(&local);
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    pairs->insert(pairs->end(), local.begin(), local.end());
+    feed->Deliver(&local);
   };
   if (options.pool != nullptr) {
     options.pool->ParallelForRange(0, left.rows(), run_rows);
@@ -72,13 +79,17 @@ void TopKNlj(const la::Matrix& left, const la::Matrix& right, size_t k,
 
 }  // namespace
 
-Result<JoinResult> NljJoinMatrices(const la::Matrix& left,
-                                   const la::Matrix& right,
-                                   const JoinCondition& condition,
-                                   const NljOptions& options) {
+Result<JoinStats> NljJoinMatricesToSink(const la::Matrix& left,
+                                        const la::Matrix& right,
+                                        const JoinCondition& condition,
+                                        const NljOptions& options,
+                                        JoinSink* sink) {
   CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
-  JoinResult result;
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
+  JoinStats stats;
   WallTimer timer;
+  SinkFeed feed(sink);
+  std::atomic<uint64_t> sims{0};
   switch (condition.kind) {
     case JoinCondition::Kind::kThreshold: {
       // Loop-order heuristic applies to the symmetric threshold condition:
@@ -87,21 +98,31 @@ Result<JoinResult> NljJoinMatrices(const la::Matrix& left,
                         left.rows() < right.rows();
       const la::Matrix& outer = swap ? right : left;
       const la::Matrix& inner = swap ? left : right;
-      ThresholdNlj(outer, inner, condition.threshold, swap, options,
-                   &result.pairs);
+      ThresholdNlj(outer, inner, condition.threshold, swap, options, &feed,
+                   &sims);
       break;
     }
     case JoinCondition::Kind::kTopK:
-      if (condition.k == 0) {
-        return Status::InvalidArgument("NLJ: top-k with k == 0");
-      }
-      TopKNlj(left, right, condition.k, options, &result.pairs);
+      TopKNlj(left, right, condition.k, options, &feed, &sims);
       break;
   }
-  SortPairs(&result.pairs);
-  result.stats.join_seconds = timer.ElapsedSeconds();
-  result.stats.similarity_computations =
-      static_cast<uint64_t>(left.rows()) * right.rows();
+  stats.join_seconds = timer.ElapsedSeconds();
+  stats.similarity_computations = sims.load(std::memory_order_relaxed);
+  sink->Finish();
+  return stats;
+}
+
+Result<JoinResult> NljJoinMatrices(const la::Matrix& left,
+                                   const la::Matrix& right,
+                                   const JoinCondition& condition,
+                                   const NljOptions& options) {
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      NljJoinMatricesToSink(left, right, condition, options, &sink));
+  JoinResult result;
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
   return result;
 }
 
@@ -113,20 +134,21 @@ Result<JoinResult> PrefetchNljJoin(const std::vector<std::string>& left,
   if (model.dim() == 0) {
     return Status::InvalidArgument("prefetch NLJ: model has dim 0");
   }
+  JoinStats embed_stats;
   const uint64_t model_calls_before = model.embed_calls();
   WallTimer embed_timer;
   // The logical optimization: embed each tuple exactly once, up front.
   la::Matrix left_emb = model.EmbedBatch(left);
   la::Matrix right_emb = model.EmbedBatch(right);
-  const double embed_seconds = embed_timer.ElapsedSeconds();
+  embed_stats.embed_seconds = embed_timer.ElapsedSeconds();
+  embed_stats.model_calls = model.embed_calls() - model_calls_before;
+  embed_stats.peak_buffer_bytes =
+      left_emb.MemoryBytes() + right_emb.MemoryBytes();
 
   CEJ_ASSIGN_OR_RETURN(JoinResult result,
                        NljJoinMatrices(left_emb, right_emb, condition,
                                        options));
-  result.stats.embed_seconds = embed_seconds;
-  result.stats.model_calls = model.embed_calls() - model_calls_before;
-  result.stats.peak_buffer_bytes =
-      left_emb.MemoryBytes() + right_emb.MemoryBytes();
+  result.stats += embed_stats;
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "cej/common/status.h"
 #include "cej/join/join_common.h"
+#include "cej/join/join_sink.h"
 #include "cej/model/embedding_model.h"
 
 namespace cej::join {
@@ -41,6 +42,15 @@ Result<JoinResult> NljJoinMatrices(const la::Matrix& left,
                                    const la::Matrix& right,
                                    const JoinCondition& condition,
                                    const NljOptions& options = {});
+
+/// Streaming form of NljJoinMatrices: emits pair chunks into `sink`
+/// (unordered; honours early termination) instead of materializing, and
+/// returns the counters for the work actually performed.
+Result<JoinStats> NljJoinMatricesToSink(const la::Matrix& left,
+                                        const la::Matrix& right,
+                                        const JoinCondition& condition,
+                                        const NljOptions& options,
+                                        JoinSink* sink);
 
 }  // namespace cej::join
 

@@ -1,9 +1,11 @@
 #include "cej/join/tensor_join.h"
 
 #include <algorithm>
-#include <mutex>
+#include <atomic>
+#include <functional>
 
 #include "cej/common/timer.h"
+#include "cej/join/join_sink.h"
 #include "cej/la/gemm.h"
 #include "cej/la/topk.h"
 
@@ -19,6 +21,125 @@ constexpr size_t kL1BudgetFloats = 4096;  // 16 KB of B-tile per sweep.
 size_t DefaultRightBatch(size_t dim) {
   const size_t rows = kL1BudgetFloats / std::max<size_t>(dim, 1);
   return std::clamp<size_t>(rows, 16, 2048);
+}
+
+// One intermediate-tile kernel: fills buffer[(i-i0)*(j1-j0) + (j-j0)] with
+// sim(left i, right j). FP32 uses the blocked GEMM; FP16 widens in
+// registers row by row.
+using TileKernel = std::function<void(size_t i0, size_t i1, size_t j0,
+                                      size_t j1, float* buffer)>;
+
+// The shared blocked sweep of Figure 6: produce a bounded tile, scan it
+// for qualifying pairs, stream them out, reuse the buffer. Workers own
+// contiguous ranges of left tiles (and, for top-k, the collectors of every
+// left row in their tiles), so the hot loop is synchronization-free; the
+// stop flag is polled once per left tile.
+struct TiledSweep {
+  size_t m, n;
+  TileShape tile;
+  JoinCondition condition;
+  const JoinOptions* options;
+  const TileKernel* kernel;
+  SinkFeed* feed;
+  std::atomic<uint64_t>* sims;
+
+  // Returns the worker concurrency actually used.
+  size_t Run() const {
+    const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
+    auto run_tiles = [this](size_t tile_begin, size_t tile_end) {
+      std::vector<float> buffer(tile.rows_left * tile.rows_right);
+      std::vector<JoinPair> local;
+      std::vector<la::TopKCollector> collectors;
+      for (size_t t = tile_begin; t < tile_end; ++t) {
+        if (feed->stopped()) break;
+        const size_t i0 = t * tile.rows_left;
+        const size_t i1 = std::min(m, i0 + tile.rows_left);
+        if (condition.kind == JoinCondition::Kind::kTopK) {
+          collectors.clear();
+          collectors.reserve(i1 - i0);
+          for (size_t i = i0; i < i1; ++i) {
+            collectors.emplace_back(condition.k);
+          }
+        }
+        for (size_t j0 = 0; j0 < n && !feed->stopped();
+             j0 += tile.rows_right) {
+          const size_t j1 = std::min(n, j0 + tile.rows_right);
+          (*kernel)(i0, i1, j0, j1, buffer.data());
+          sims->fetch_add(static_cast<uint64_t>(i1 - i0) * (j1 - j0),
+                          std::memory_order_relaxed);
+          const size_t tile_cols = j1 - j0;
+          // Scan the dense tile; the sparse qualifying set is emitted as
+          // (batch offset) tuple pairs — the late-materialization result
+          // format of Figure 6 step 2. Threshold scans stream row by row
+          // (early termination bites within a tile); top-k rows finalize
+          // only once the whole left tile has been swept.
+          if (condition.kind == JoinCondition::Kind::kThreshold) {
+            for (size_t i = i0; i < i1 && !feed->stopped(); ++i) {
+              const float* row = buffer.data() + (i - i0) * tile_cols;
+              for (size_t j = 0; j < tile_cols; ++j) {
+                if (row[j] >= condition.threshold) {
+                  local.push_back({static_cast<uint32_t>(i),
+                                   static_cast<uint32_t>(j0 + j), row[j]});
+                }
+              }
+              feed->MaybeDeliver(&local);
+            }
+          } else {
+            for (size_t i = i0; i < i1; ++i) {
+              const float* row = buffer.data() + (i - i0) * tile_cols;
+              auto& collector = collectors[i - i0];
+              for (size_t j = 0; j < tile_cols; ++j) {
+                collector.Push(row[j], static_cast<uint64_t>(j0 + j));
+              }
+            }
+          }
+        }
+        if (condition.kind == JoinCondition::Kind::kTopK &&
+            !feed->stopped()) {
+          for (size_t i = i0; i < i1; ++i) {
+            for (const auto& scored : collectors[i - i0].TakeSorted()) {
+              local.push_back({static_cast<uint32_t>(i),
+                               static_cast<uint32_t>(scored.id),
+                               scored.score});
+            }
+          }
+        }
+        feed->MaybeDeliver(&local);
+      }
+      feed->Deliver(&local);
+    };
+
+    size_t concurrency = 1;
+    if (options->pool != nullptr && num_left_tiles > 1) {
+      concurrency = static_cast<size_t>(options->pool->num_threads());
+      options->pool->ParallelForRange(0, num_left_tiles, run_tiles);
+    } else {
+      run_tiles(0, num_left_tiles);
+    }
+    return std::min(concurrency, num_left_tiles);
+  }
+};
+
+Result<JoinStats> RunTiledToSink(size_t m, size_t n,
+                                 const TileShape& tile,
+                                 const JoinCondition& condition,
+                                 const TensorJoinOptions& options,
+                                 const TileKernel& kernel, JoinSink* sink) {
+  JoinStats stats;
+  if (m == 0 || n == 0) {
+    sink->Finish();
+    return stats;
+  }
+  WallTimer timer;
+  SinkFeed feed(sink);
+  std::atomic<uint64_t> sims{0};
+  TiledSweep sweep{m, n, tile, condition, &options, &kernel, &feed, &sims};
+  const size_t used_buffers = sweep.Run();
+  stats.join_seconds = timer.ElapsedSeconds();
+  stats.similarity_computations = sims.load(std::memory_order_relaxed);
+  stats.peak_buffer_bytes = tile.buffer_bytes() * used_buffers;
+  sink->Finish();
+  return stats;
 }
 
 }  // namespace
@@ -50,97 +171,34 @@ TileShape ResolveTileShape(size_t left_rows, size_t right_rows, size_t dim,
   return shape;
 }
 
+Result<JoinStats> TensorJoinMatricesToSink(const la::Matrix& left,
+                                           const la::Matrix& right,
+                                           const JoinCondition& condition,
+                                           const TensorJoinOptions& options,
+                                           JoinSink* sink) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
+  const TileShape tile =
+      ResolveTileShape(left.rows(), right.rows(), left.cols(), options);
+  TileKernel kernel = [&](size_t i0, size_t i1, size_t j0, size_t j1,
+                          float* buffer) {
+    la::GemmTile(left, right, i0, i1, j0, j1, buffer, options.simd);
+  };
+  return RunTiledToSink(left.rows(), right.rows(), tile, condition, options,
+                        kernel, sink);
+}
+
 Result<JoinResult> TensorJoinMatrices(const la::Matrix& left,
                                       const la::Matrix& right,
                                       const JoinCondition& condition,
                                       const TensorJoinOptions& options) {
-  CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
-  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
-    return Status::InvalidArgument("tensor join: top-k with k == 0");
-  }
-
-  const size_t m = left.rows();
-  const size_t n = right.rows();
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      TensorJoinMatricesToSink(left, right, condition, options, &sink));
   JoinResult result;
-  if (m == 0 || n == 0) return result;
-
-  const TileShape tile = ResolveTileShape(m, n, left.cols(), options);
-  WallTimer timer;
-  std::mutex merge_mu;
-
-  // One worker processes a contiguous range of left-tile indices; it owns
-  // a single reusable tile buffer (and, for top-k, the collectors of every
-  // left row in its tiles), so the hot loop is synchronization-free.
-  const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
-  auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
-    std::vector<float> buffer(tile.rows_left * tile.rows_right);
-    std::vector<JoinPair> local;
-    std::vector<la::TopKCollector> collectors;
-    for (size_t t = tile_begin; t < tile_end; ++t) {
-      const size_t i0 = t * tile.rows_left;
-      const size_t i1 = std::min(m, i0 + tile.rows_left);
-      if (condition.kind == JoinCondition::Kind::kTopK) {
-        collectors.clear();
-        collectors.reserve(i1 - i0);
-        for (size_t i = i0; i < i1; ++i) {
-          collectors.emplace_back(condition.k);
-        }
-      }
-      for (size_t j0 = 0; j0 < n; j0 += tile.rows_right) {
-        const size_t j1 = std::min(n, j0 + tile.rows_right);
-        la::GemmTile(left, right, i0, i1, j0, j1, buffer.data(),
-                     options.simd);
-        const size_t tile_cols = j1 - j0;
-        // Scan the dense tile; the sparse qualifying set is emitted as
-        // (batch offset) tuple pairs — the late-materialization result
-        // format of Figure 6 step 2.
-        if (condition.kind == JoinCondition::Kind::kThreshold) {
-          for (size_t i = i0; i < i1; ++i) {
-            const float* row = buffer.data() + (i - i0) * tile_cols;
-            for (size_t j = 0; j < tile_cols; ++j) {
-              if (row[j] >= condition.threshold) {
-                local.push_back({static_cast<uint32_t>(i),
-                                 static_cast<uint32_t>(j0 + j), row[j]});
-              }
-            }
-          }
-        } else {
-          for (size_t i = i0; i < i1; ++i) {
-            const float* row = buffer.data() + (i - i0) * tile_cols;
-            auto& collector = collectors[i - i0];
-            for (size_t j = 0; j < tile_cols; ++j) {
-              collector.Push(row[j], static_cast<uint64_t>(j0 + j));
-            }
-          }
-        }
-      }
-      if (condition.kind == JoinCondition::Kind::kTopK) {
-        for (size_t i = i0; i < i1; ++i) {
-          for (const auto& scored : collectors[i - i0].TakeSorted()) {
-            local.push_back({static_cast<uint32_t>(i),
-                             static_cast<uint32_t>(scored.id),
-                             scored.score});
-          }
-        }
-      }
-    }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
-  };
-
-  size_t concurrency = 1;
-  if (options.pool != nullptr && num_left_tiles > 1) {
-    concurrency = static_cast<size_t>(options.pool->num_threads());
-    options.pool->ParallelForRange(0, num_left_tiles, run_tiles);
-  } else {
-    run_tiles(0, num_left_tiles);
-  }
-
-  SortPairs(&result.pairs);
-  result.stats.join_seconds = timer.ElapsedSeconds();
-  result.stats.similarity_computations = static_cast<uint64_t>(m) * n;
-  result.stats.peak_buffer_bytes =
-      tile.buffer_bytes() * std::min(concurrency, num_left_tiles);
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
   return result;
 }
 
@@ -148,18 +206,11 @@ Result<JoinResult> TensorJoinMatricesHalf(const la::HalfMatrix& left,
                                           const la::HalfMatrix& right,
                                           const JoinCondition& condition,
                                           const TensorJoinOptions& options) {
-  if (left.cols() == 0 || left.cols() != right.cols()) {
-    return Status::InvalidArgument(
-        "tensor join (fp16): embedding dimensionality mismatch");
-  }
-  if (condition.kind == JoinCondition::Kind::kTopK && condition.k == 0) {
-    return Status::InvalidArgument("tensor join (fp16): top-k with k == 0");
-  }
+  CEJ_RETURN_IF_ERROR(ValidateJoinDims(left.cols(), right.cols()));
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
   const size_t m = left.rows();
   const size_t n = right.rows();
   const size_t dim = left.cols();
-  JoinResult result;
-  if (m == 0 || n == 0) return result;
 
   // FP16 rows are half-width: the same L1 budget fits twice the tile.
   TensorJoinOptions half_options = options;
@@ -169,78 +220,21 @@ Result<JoinResult> TensorJoinMatricesHalf(const la::HalfMatrix& left,
             .rows_right;
   }
   const TileShape tile = ResolveTileShape(m, n, dim, half_options);
-  WallTimer timer;
-  std::mutex merge_mu;
-
-  const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
-  auto run_tiles = [&](size_t tile_begin, size_t tile_end) {
-    std::vector<float> buffer(tile.rows_left * tile.rows_right);
-    std::vector<JoinPair> local;
-    std::vector<la::TopKCollector> collectors;
-    for (size_t t = tile_begin; t < tile_end; ++t) {
-      const size_t i0 = t * tile.rows_left;
-      const size_t i1 = std::min(m, i0 + tile.rows_left);
-      if (condition.kind == JoinCondition::Kind::kTopK) {
-        collectors.clear();
-        for (size_t i = i0; i < i1; ++i) {
-          collectors.emplace_back(condition.k);
-        }
-      }
-      for (size_t j0 = 0; j0 < n; j0 += tile.rows_right) {
-        const size_t j1 = std::min(n, j0 + tile.rows_right);
-        const size_t tile_cols = j1 - j0;
-        for (size_t i = i0; i < i1; ++i) {
-          la::DotHalfOneToMany(left.Row(i), right.Row(j0), tile_cols, dim,
-                               buffer.data() + (i - i0) * tile_cols,
-                               options.simd);
-        }
-        if (condition.kind == JoinCondition::Kind::kThreshold) {
-          for (size_t i = i0; i < i1; ++i) {
-            const float* row = buffer.data() + (i - i0) * tile_cols;
-            for (size_t j = 0; j < tile_cols; ++j) {
-              if (row[j] >= condition.threshold) {
-                local.push_back({static_cast<uint32_t>(i),
-                                 static_cast<uint32_t>(j0 + j), row[j]});
-              }
-            }
-          }
-        } else {
-          for (size_t i = i0; i < i1; ++i) {
-            const float* row = buffer.data() + (i - i0) * tile_cols;
-            auto& collector = collectors[i - i0];
-            for (size_t j = 0; j < tile_cols; ++j) {
-              collector.Push(row[j], static_cast<uint64_t>(j0 + j));
-            }
-          }
-        }
-      }
-      if (condition.kind == JoinCondition::Kind::kTopK) {
-        for (size_t i = i0; i < i1; ++i) {
-          for (const auto& scored : collectors[i - i0].TakeSorted()) {
-            local.push_back({static_cast<uint32_t>(i),
-                             static_cast<uint32_t>(scored.id),
-                             scored.score});
-          }
-        }
-      }
+  TileKernel kernel = [&](size_t i0, size_t i1, size_t j0, size_t j1,
+                          float* buffer) {
+    const size_t tile_cols = j1 - j0;
+    for (size_t i = i0; i < i1; ++i) {
+      la::DotHalfOneToMany(left.Row(i), right.Row(j0), tile_cols, dim,
+                           buffer + (i - i0) * tile_cols, options.simd);
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    result.pairs.insert(result.pairs.end(), local.begin(), local.end());
   };
-
-  size_t concurrency = 1;
-  if (options.pool != nullptr && num_left_tiles > 1) {
-    concurrency = static_cast<size_t>(options.pool->num_threads());
-    options.pool->ParallelForRange(0, num_left_tiles, run_tiles);
-  } else {
-    run_tiles(0, num_left_tiles);
-  }
-
-  SortPairs(&result.pairs);
-  result.stats.join_seconds = timer.ElapsedSeconds();
-  result.stats.similarity_computations = static_cast<uint64_t>(m) * n;
-  result.stats.peak_buffer_bytes =
-      tile.buffer_bytes() * std::min(concurrency, num_left_tiles);
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(
+      JoinStats stats,
+      RunTiledToSink(m, n, tile, condition, options, kernel, &sink));
+  JoinResult result;
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
   return result;
 }
 
@@ -252,17 +246,18 @@ Result<JoinResult> TensorJoin(const std::vector<std::string>& left,
   if (model.dim() == 0) {
     return Status::InvalidArgument("tensor join: model has dim 0");
   }
+  JoinStats embed_stats;
   const uint64_t model_calls_before = model.embed_calls();
   WallTimer embed_timer;
   la::Matrix left_emb = model.EmbedBatch(left);
   la::Matrix right_emb = model.EmbedBatch(right);
-  const double embed_seconds = embed_timer.ElapsedSeconds();
+  embed_stats.embed_seconds = embed_timer.ElapsedSeconds();
+  embed_stats.model_calls = model.embed_calls() - model_calls_before;
 
   CEJ_ASSIGN_OR_RETURN(JoinResult result,
                        TensorJoinMatrices(left_emb, right_emb, condition,
                                           options));
-  result.stats.embed_seconds = embed_seconds;
-  result.stats.model_calls = model.embed_calls() - model_calls_before;
+  result.stats += embed_stats;
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "cej/common/status.h"
 #include "cej/join/join_common.h"
+#include "cej/join/join_sink.h"
 #include "cej/la/half.h"
 #include "cej/model/embedding_model.h"
 
@@ -39,6 +40,14 @@ Result<JoinResult> TensorJoinMatrices(const la::Matrix& left,
                                       const la::Matrix& right,
                                       const JoinCondition& condition,
                                       const TensorJoinOptions& options = {});
+
+/// Streaming form of TensorJoinMatrices: emits pair chunks into `sink`
+/// (unordered; honours early termination at tile granularity) instead of
+/// materializing, and returns counters for the work actually performed.
+Result<JoinStats> TensorJoinMatricesToSink(
+    const la::Matrix& left, const la::Matrix& right,
+    const JoinCondition& condition, const TensorJoinOptions& options,
+    JoinSink* sink);
 
 /// Half-precision variant (paper Section V.A.2): embeddings stored FP16,
 /// similarity arithmetic widened to FP32 in registers. Halves the memory

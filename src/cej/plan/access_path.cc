@@ -1,7 +1,7 @@
 #include "cej/plan/access_path.h"
 
-#include <algorithm>
-#include <limits>
+#include "cej/common/macros.h"
+#include "cej/join/join_operator.h"
 
 namespace cej::plan {
 
@@ -11,43 +11,24 @@ const char* AccessPathName(AccessPath path) {
 
 AccessPathDecision ChooseAccessPath(const AccessPathQuery& query,
                                     const CostParams& params) {
+  // Scan vs probe is a two-candidate special case of the registry-wide
+  // operator pricing: each physical operator knows its own cost formula.
+  auto& registry = join::JoinOperatorRegistry::Global();
+  auto scan_op = registry.Find("tensor");
+  auto probe_op = registry.Find("index");
+  CEJ_CHECK(scan_op.ok() && probe_op.ok());
+
+  JoinWorkload workload;
+  workload.left_rows = query.left_rows;
+  workload.right_rows = query.right_rows;
+  workload.dim = query.dim;
+  workload.right_selectivity = query.right_selectivity;
+  workload.condition = query.condition;
+  workload.index_available = query.index_available;
+
   AccessPathDecision decision;
-  const double sel = std::clamp(query.right_selectivity, 0.0, 1.0);
-  const size_t filtered_right = static_cast<size_t>(
-      static_cast<double>(query.right_rows) * sel + 0.5);
-
-  // Scan path: filter S (linear), then tensor-join against the survivors.
-  decision.scan_cost =
-      static_cast<double>(query.right_rows) * params.access +
-      TensorJoinCost(query.left_rows, filtered_right, params);
-
-  if (!query.index_available) {
-    decision.probe_cost = std::numeric_limits<double>::infinity();
-    decision.path = AccessPath::kScan;
-    return decision;
-  }
-
-  // Probe path: per-probe traversal cost over the FULL index (pre-filter
-  // semantics), with the beam inflated for top-k>1 and further for range
-  // conditions (which probe via the top-k mechanism and post-filter).
-  // Beam factors reproduce the paper's relative crossover shifts: k=32
-  // costs ~3x a top-1 probe (Fig 16); range probes another ~2x (Fig 17).
-  CostParams probe_params = params;
-  double beam_factor;
-  if (query.condition.kind == join::JoinCondition::Kind::kTopK) {
-    beam_factor =
-        1.0 + static_cast<double>(std::max<size_t>(query.condition.k, 1)) /
-                  16.0;
-  } else {
-    beam_factor = 3.0;  // Top-k=32 retrieval mechanism under the hood.
-    probe_params.probe_per_candidate *= 2.0;
-  }
-  probe_params.probe_ef = std::max<size_t>(
-      1, static_cast<size_t>(static_cast<double>(params.probe_ef) *
-                             beam_factor));
-  decision.probe_cost =
-      IndexJoinCost(query.left_rows, query.right_rows, probe_params);
-
+  decision.scan_cost = (*scan_op)->EstimateCost(workload, params);
+  decision.probe_cost = (*probe_op)->EstimateCost(workload, params);
   decision.path = decision.scan_cost <= decision.probe_cost
                       ? AccessPath::kScan
                       : AccessPath::kProbe;

@@ -26,6 +26,7 @@ const char* AccessPathName(AccessPath path);
 struct AccessPathQuery {
   size_t left_rows = 0;        ///< |R| after its own filters.
   size_t right_rows = 0;       ///< |S| before filtering (index size).
+  size_t dim = 0;              ///< Embedding dimensionality (0 = unknown).
   double right_selectivity = 1.0;  ///< Fraction of S passing pre-filters.
   join::JoinCondition condition;
   bool index_available = true;

@@ -1,6 +1,6 @@
 #include "cej/plan/cost_model.h"
 
-#include <cmath>
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -10,39 +10,6 @@
 #include "cej/workload/generators.h"
 
 namespace cej::plan {
-
-double ESelectionCost(size_t n, const CostParams& p) {
-  return static_cast<double>(n) * (p.access + p.model + p.compute);
-}
-
-double NaiveENljCost(size_t m, size_t n, const CostParams& p) {
-  return static_cast<double>(m) * static_cast<double>(n) *
-         (p.access + p.model + p.compute);
-}
-
-double PrefetchENljCost(size_t m, size_t n, const CostParams& p) {
-  return static_cast<double>(m) * static_cast<double>(n) *
-             (p.access + p.compute) +
-         static_cast<double>(m + n) * p.model;
-}
-
-double TensorJoinCost(size_t m, size_t n, const CostParams& p) {
-  return static_cast<double>(m) * static_cast<double>(n) *
-             (p.access + p.compute) * p.tensor_efficiency +
-         static_cast<double>(m + n) * p.model;
-}
-
-double IndexProbeCost(size_t n, const CostParams& p) {
-  const double depth = n > 1 ? std::log(static_cast<double>(n)) : 1.0;
-  return p.probe_base + p.probe_per_candidate *
-                            static_cast<double>(p.probe_ef) * depth *
-                            (p.access + p.compute);
-}
-
-double IndexJoinCost(size_t m, size_t n, const CostParams& p) {
-  return static_cast<double>(m) * IndexProbeCost(n, p) +
-         static_cast<double>(m) * p.model;
-}
 
 CostParams Calibrate(const model::EmbeddingModel& model, size_t sample) {
   CostParams p;

@@ -1,63 +1,30 @@
-// The paper's abstract cost model (Section IV.A), parameterized and
-// calibratable: A = per-tuple data access cost, M = model (embedding) cost,
-// C = per-pair computation cost, I_probe = per-probe index traversal cost.
+// Planner-side view of the paper's abstract cost model (Section IV.A).
 //
-//   Cost(sigma_E(R))            = |R| * (A + M + C)
-//   Cost(naive E-NLJ)           = |R| * |S| * (A + M + C)
-//   Cost(prefetch E-NLJ)        = |R| * |S| * (A + C) + (|R| + |S|) * M
-//   Cost(E-index join)          = |R| * I_probe(|S|) * (A + C)
-//
-// The tensor formulation performs the same |R|*|S| similarity work with a
-// cache-efficiency factor < 1 relative to the NLJ (calibrated, not assumed).
+// The parameters and per-operator cost formulas live with the operators in
+// cej/join/join_cost.h — each physical JoinOperator prices itself via
+// EstimateCost() — and are re-exported here for planner callers. This
+// header adds the piece only the planner can do: calibrating A, M and C
+// against the host machine and a concrete embedding model.
 
 #ifndef CEJ_PLAN_COST_MODEL_H_
 #define CEJ_PLAN_COST_MODEL_H_
 
 #include <cstddef>
 
+#include "cej/join/join_cost.h"
 #include "cej/model/embedding_model.h"
 
 namespace cej::plan {
 
-/// Calibrated per-unit costs. Units are arbitrary but mutually normalized
-/// (nanoseconds when produced by Calibrate()).
-struct CostParams {
-  double access = 1.0;        ///< A: per-tuple access.
-  double model = 50.0;        ///< M: per-tuple embedding.
-  double compute = 5.0;       ///< C: per-pair similarity computation.
-  /// Tensor-formulation efficiency vs the per-pair NLJ baseline (< 1 means
-  /// the blocked kernel is faster per pair; Figure 14 measures ~0.1).
-  double tensor_efficiency = 0.15;
-  /// I_probe(n) = probe_base + probe_per_candidate * ef * ln(n) * (A + C):
-  /// graph-traversal candidates scale with beam width and graph depth.
-  /// The default per-candidate factor is calibrated so the top-1
-  /// scan-vs-probe crossover lands at the paper's ~20-30% selectivity for
-  /// a 10k x 1M join (Figure 15); pre-filtered probes traverse far more
-  /// than ef*ln(n) nodes in practice.
-  double probe_base = 10.0;
-  double probe_per_candidate = 40.0;
-  size_t probe_ef = 64;
-};
+using join::CostParams;
+using join::JoinWorkload;
 
-/// Cost of an E-selection over n tuples (embed + predicate per tuple).
-double ESelectionCost(size_t n, const CostParams& p);
-
-/// Cost of the naive E-NLJ (model access inside the pair loop).
-double NaiveENljCost(size_t m, size_t n, const CostParams& p);
-
-/// Cost of the prefetch-optimized E-NLJ.
-double PrefetchENljCost(size_t m, size_t n, const CostParams& p);
-
-/// Cost of the tensor-join formulation (prefetch + blocked kernel).
-double TensorJoinCost(size_t m, size_t n, const CostParams& p);
-
-/// Per-probe cost model I_probe over an index of n entries.
-double IndexProbeCost(size_t n, const CostParams& p);
-
-/// Cost of the index join: m probes into an n-entry index. `selectivity`
-/// in [0,1] scales the *scan side's* benefit, not the probe (pre-filtering
-/// pays traversal regardless — Section IV.B).
-double IndexJoinCost(size_t m, size_t n, const CostParams& p);
+using join::ESelectionCost;
+using join::IndexJoinCost;
+using join::IndexProbeCost;
+using join::NaiveENljCost;
+using join::PrefetchENljCost;
+using join::TensorJoinCost;
 
 /// Micro-benchmarks the host to fill in A, M and C for a concrete model and
 /// dimensionality. Cheap (a few milliseconds).

@@ -1,40 +1,56 @@
 #include "cej/plan/executor.h"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 
 #include "cej/common/macros.h"
-#include "cej/join/index_join.h"
-#include "cej/join/nlj_naive.h"
-#include "cej/join/tensor_join.h"
 
 namespace cej::plan {
 namespace {
 
+using join::JoinInputs;
+using join::JoinOperator;
+using join::JoinOperatorRegistry;
+using join::JoinStats;
 using storage::Column;
 using storage::DataType;
 using storage::Field;
 using storage::Relation;
 using storage::Schema;
 
-// The probe-eligible right-subtree pattern: Embed -> [Select ->] Scan.
+// The probe-eligible right-subtree pattern: either the rewritten pipeline
+// Embed -> [Select ->] Scan, or a bare [Select ->] Scan whose join key is
+// a stored vector column of the base table.
 struct ProbePattern {
   bool matches = false;
-  const LogicalNode* embed = nullptr;
+  const LogicalNode* embed = nullptr;   // Null for stored-vector scans.
   const LogicalNode* select = nullptr;  // May be null.
   const LogicalNode* scan = nullptr;
 };
 
-ProbePattern MatchProbePattern(const NodePtr& node) {
+ProbePattern MatchProbePattern(const NodePtr& node,
+                               const std::string& right_key) {
   ProbePattern p;
-  if (node->kind != NodeKind::kEmbed) return p;
-  p.embed = node.get();
-  const LogicalNode* below = node->child.get();
+  const LogicalNode* below = node.get();
+  if (below->kind == NodeKind::kEmbed) {
+    p.embed = below;
+    below = below->child.get();
+  }
   if (below->kind == NodeKind::kSelect) {
     p.select = below;
     below = below->child.get();
   }
   if (below->kind != NodeKind::kScan) return p;
   p.scan = below;
+  if (p.embed == nullptr) {
+    // Bare pattern: the join key must be a stored vector column.
+    auto field = p.scan->relation->schema().FieldIndex(right_key);
+    if (!field.ok() || p.scan->relation->schema().field(*field).type !=
+                           DataType::kVector) {
+      return p;
+    }
+  }
   p.matches = true;
   return p;
 }
@@ -69,7 +85,11 @@ Result<Relation> MaterializeJoinOutput(const Schema& output_schema,
 class PlanExecutor {
  public:
   PlanExecutor(const ExecContext& context, ExecStats* stats)
-      : context_(context), stats_(stats) {}
+      : context_(context),
+        registry_(context.operators != nullptr
+                      ? *context.operators
+                      : JoinOperatorRegistry::Global()),
+        stats_(stats) {}
 
   Result<Relation> Run(const NodePtr& node) {
     switch (node->kind) {
@@ -89,7 +109,24 @@ class PlanExecutor {
     return Status::Internal("unreachable");
   }
 
+  // Streaming entry point: the final join feeds `sink` directly.
+  Result<JoinStats> RunToSink(const NodePtr& node, join::JoinSink* sink) {
+    if (node->kind != NodeKind::kEJoin) {
+      return Status::InvalidArgument(
+          "ExecuteToSink: plan root must be an EJoin");
+    }
+    return RunEJoinIntoSink(node, sink, /*materialize_sides=*/false,
+                            /*sides=*/nullptr);
+  }
+
  private:
+  // The join's two input relations, for output materialization. Pair ids
+  // emitted by the operator address these relations' rows.
+  struct JoinedSides {
+    Relation left;
+    Relation right;
+  };
+
   Result<Relation> RunEmbed(const NodePtr& node) {
     CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
     CEJ_ASSIGN_OR_RETURN(const Column* col,
@@ -107,141 +144,254 @@ class PlanExecutor {
 
   Result<Relation> RunEJoin(const NodePtr& node) {
     CEJ_ASSIGN_OR_RETURN(Schema output_schema, OutputSchema(node));
+    join::MaterializingSink sink;
+    JoinedSides sides;
+    CEJ_RETURN_IF_ERROR(
+        RunEJoinIntoSink(node, &sink, /*materialize_sides=*/true, &sides)
+            .status());
+    return MaterializeJoinOutput(output_schema, sides.left, sides.right,
+                                 sink.pairs());
+  }
+
+  // Selects the physical operator via the registry, runs the join into
+  // `sink`, and (optionally) materializes both input-side relations for
+  // output assembly.
+  Result<JoinStats> RunEJoinIntoSink(const NodePtr& node,
+                                     join::JoinSink* sink,
+                                     bool materialize_sides,
+                                     JoinedSides* sides) {
     CEJ_ASSIGN_OR_RETURN(Relation left, Run(node->left));
     CEJ_ASSIGN_OR_RETURN(const Column* left_key,
                          left.ColumnByName(node->left_key));
 
-    // String-key join: the un-rewritten (naive) physical form.
-    if (left_key->type() == DataType::kString) {
-      if (node->condition.kind != join::JoinCondition::Kind::kThreshold) {
-        return Status::Unimplemented(
-            "naive string-key EJoin supports only threshold conditions; "
-            "run plan::Optimize to enable top-k");
+    Result<JoinStats> run =
+        left_key->type() == DataType::kString
+            ? RunStringKeyJoin(node, *left_key, sink, materialize_sides,
+                               sides)
+            : RunVectorKeyJoin(node, left, *left_key, sink,
+                               materialize_sides, sides);
+    if (run.ok()) {
+      if (materialize_sides) sides->left = std::move(left);
+      if (stats_ != nullptr) {
+        stats_->model_calls += run->model_calls;
+        stats_->join_stats += *run;
       }
-      CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
-      CEJ_ASSIGN_OR_RETURN(const Column* right_key,
-                           right.ColumnByName(node->right_key));
-      join::JoinOptions options;
-      options.pool = context_.pool;
-      options.simd = context_.simd;
-      CEJ_ASSIGN_OR_RETURN(
-          join::JoinResult joined,
-          join::NaiveNljJoin(left_key->string_values(),
-                             right_key->string_values(), *node->model,
-                             node->condition.threshold, options));
-      if (stats_ != nullptr) stats_->model_calls += joined.stats.model_calls;
-      return MaterializeJoinOutput(output_schema, left, right, joined.pairs);
     }
+    return run;
+  }
 
-    // Vector-key join: access-path selection between scan and probe.
-    const ProbePattern pattern = MatchProbePattern(node->right);
+  // String-key join: the un-rewritten (naive) physical form, unless an
+  // operator override redirects it to a prefetched implementation.
+  Result<JoinStats> RunStringKeyJoin(const NodePtr& node,
+                                     const Column& left_key,
+                                     join::JoinSink* sink,
+                                     bool materialize_sides,
+                                     JoinedSides* sides) {
+    CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
+    CEJ_ASSIGN_OR_RETURN(const Column* right_key,
+                         right.ColumnByName(node->right_key));
+    if (right_key->type() != DataType::kString) {
+      return Status::InvalidArgument("EJoin: right key is not a string");
+    }
+    const std::string op_name = context_.force_operator.empty()
+                                    ? "naive_nlj"
+                                    : context_.force_operator;
+    CEJ_ASSIGN_OR_RETURN(const JoinOperator* op, registry_.Find(op_name));
+    if (stats_ != nullptr) stats_->join_operator = std::string(op->Name());
+
+    JoinInputs inputs;
+    inputs.left_strings = &left_key.string_values();
+    inputs.right_strings = &right_key->string_values();
+    inputs.model = node->model;
+    CEJ_ASSIGN_OR_RETURN(JoinStats run_stats,
+                         op->Run(inputs, node->condition, BaseOptions(),
+                                 sink));
+    if (materialize_sides) sides->right = std::move(right);
+    return run_stats;
+  }
+
+  // Vector-key join: registry-wide access-path selection.
+  Result<JoinStats> RunVectorKeyJoin(const NodePtr& node,
+                                     const Relation& left,
+                                     const Column& left_key,
+                                     join::JoinSink* sink,
+                                     bool materialize_sides,
+                                     JoinedSides* sides) {
+    if (left_key.type() != DataType::kVector) {
+      return Status::InvalidArgument("EJoin: left key is not a vector");
+    }
+    // Index discovery over the probe-eligible right-subtree patterns.
+    const ProbePattern pattern =
+        MatchProbePattern(node->right, node->right_key);
     const index::VectorIndex* idx = nullptr;
     if (pattern.matches) {
-      auto it = context_.indexes.find(pattern.scan->table_name + "." +
-                                      pattern.embed->output_column);
+      const std::string column = pattern.embed != nullptr
+                                     ? pattern.embed->output_column
+                                     : node->right_key;
+      auto it = context_.indexes.find(pattern.scan->table_name + "." + column);
       if (it != context_.indexes.end()) idx = it->second;
     }
 
     index::FilterBitmap bitmap;
     double right_selectivity = 1.0;
     size_t base_rows = 0;
-    if (idx != nullptr) {
+    std::optional<Relation> right_prematerialized;
+    if (pattern.matches) {
       const Relation& base = *pattern.scan->relation;
       base_rows = base.num_rows();
-      if (idx->size() != base_rows) {
-        return Status::InvalidArgument(
-            "EJoin: registered index size does not match base table '" +
-            pattern.scan->table_name + "'");
+      if (idx != nullptr) {
+        if (idx->size() != base_rows) {
+          return Status::InvalidArgument(
+              "EJoin: registered index size does not match base table '" +
+              pattern.scan->table_name + "'");
+        }
+        bitmap.assign(base_rows, 1);
       }
-      bitmap.assign(base_rows, 1);
-      if (pattern.select != nullptr) {
+      // The predicate is evaluated here only when an index makes the
+      // probe path possible: selectivity then steers scan-vs-probe and
+      // the bitmap pre-filters probes. Without an index it would scale
+      // every eligible (scan-family) operator identically, so skip the
+      // eval — Run(node->right) applies the Select once, downstream.
+      if (pattern.select != nullptr && idx != nullptr) {
         CEJ_RETURN_IF_ERROR(
             pattern.select->predicate->Validate(base.schema()));
-        std::fill(bitmap.begin(), bitmap.end(), 0);
         std::vector<uint32_t> rows;
         pattern.select->predicate->Eval(base, &rows);
+        std::fill(bitmap.begin(), bitmap.end(), 0);
         for (uint32_t r : rows) bitmap[r] = 1;
         right_selectivity = base_rows == 0
                                 ? 0.0
                                 : static_cast<double>(rows.size()) /
                                       static_cast<double>(base_rows);
       }
+    } else {
+      // Arbitrary right subtree: no probe possibility; materialize it now
+      // so the scan-family operators can be priced on the true size.
+      CEJ_ASSIGN_OR_RETURN(Relation materialized, Run(node->right));
+      base_rows = materialized.num_rows();
+      right_prematerialized = std::move(materialized);
     }
 
-    AccessPathQuery query;
-    query.left_rows = left.num_rows();
-    query.right_rows = base_rows;
-    query.right_selectivity = right_selectivity;
-    query.condition = node->condition;
-    query.index_available = idx != nullptr;
-    AccessPathDecision decision =
-        ChooseAccessPath(query, context_.cost_params);
-    if (context_.force_scan) decision.path = AccessPath::kScan;
-    if (context_.force_probe && idx != nullptr) {
-      decision.path = AccessPath::kProbe;
-    }
+    join::JoinWorkload workload;
+    workload.left_rows = left.num_rows();
+    workload.right_rows = base_rows;
+    workload.dim = left_key.vector_dim();
+    workload.right_selectivity = right_selectivity;
+    workload.condition = node->condition;
+    workload.index_available = idx != nullptr;
+
+    CEJ_ASSIGN_OR_RETURN(const JoinOperator* op,
+                         SelectOperator(workload, idx != nullptr));
     if (stats_ != nullptr) {
-      stats_->join_access_path = decision.path;
-      stats_->scan_cost_estimate = decision.scan_cost;
-      stats_->probe_cost_estimate = decision.probe_cost;
+      stats_->join_operator = std::string(op->Name());
+      stats_->join_access_path = op->Traits().needs_index
+                                     ? AccessPath::kProbe
+                                     : AccessPath::kScan;
     }
 
-    if (decision.path == AccessPath::kProbe && idx != nullptr) {
-      return RunProbeJoin(node, output_schema, left, *left_key, *idx,
-                          bitmap, pattern);
+    if (op->Traits().needs_index) {
+      JoinInputs inputs;
+      inputs.left_vectors = &left_key.vector_values();
+      inputs.right_index = idx;
+      inputs.right_filter = &bitmap;
+      CEJ_ASSIGN_OR_RETURN(JoinStats run_stats,
+                           op->Run(inputs, node->condition, BaseOptions(),
+                                   sink));
+      // Probe ids address base-table rows; materialize the right side as
+      // base relation (+ embedding column for rewritten plans) so the
+      // output schema matches the scan path's.
+      if (materialize_sides) {
+        CEJ_ASSIGN_OR_RETURN(sides->right, RightBaseRelation(pattern));
+      }
+      return run_stats;
     }
-    return RunScanJoin(node, output_schema, left, *left_key);
-  }
 
-  Result<Relation> RunScanJoin(const NodePtr& node,
-                               const Schema& output_schema,
-                               const Relation& left,
-                               const Column& left_key) {
-    CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
+    Relation right;
+    if (right_prematerialized.has_value()) {
+      right = std::move(*right_prematerialized);
+    } else {
+      CEJ_ASSIGN_OR_RETURN(right, Run(node->right));
+    }
     CEJ_ASSIGN_OR_RETURN(const Column* right_key,
                          right.ColumnByName(node->right_key));
     if (right_key->type() != DataType::kVector) {
       return Status::InvalidArgument("EJoin: right key is not a vector");
     }
-    join::TensorJoinOptions options;
-    options.pool = context_.pool;
-    options.simd = context_.simd;
+    JoinInputs inputs;
+    inputs.left_vectors = &left_key.vector_values();
+    inputs.right_vectors = &right_key->vector_values();
     CEJ_ASSIGN_OR_RETURN(
-        join::JoinResult joined,
-        join::TensorJoinMatrices(left_key.vector_values(),
-                                 right_key->vector_values(), node->condition,
-                                 options));
-    return MaterializeJoinOutput(output_schema, left, right, joined.pairs);
+        JoinStats run_stats,
+        op->Run(inputs, node->condition, BaseOptions(), sink));
+    if (materialize_sides) sides->right = std::move(right);
+    return run_stats;
   }
 
-  Result<Relation> RunProbeJoin(const NodePtr& node,
-                                const Schema& output_schema,
-                                const Relation& left, const Column& left_key,
-                                const index::VectorIndex& idx,
-                                const index::FilterBitmap& bitmap,
-                                const ProbePattern& pattern) {
-    join::IndexJoinOptions options;
-    options.pool = context_.pool;
-    options.simd = context_.simd;
-    options.filter = &bitmap;
-    CEJ_ASSIGN_OR_RETURN(join::JoinResult joined,
-                         join::IndexJoin(left_key.vector_values(), idx,
-                                         node->condition, options));
-    // Probe ids address base-table rows; materialize the right side as
-    // base-relation + embedding column so the output schema matches the
-    // scan path's.
-    CEJ_ASSIGN_OR_RETURN(Relation right_base, RunEmbedOverBase(pattern));
-    return MaterializeJoinOutput(output_schema, left, right_base,
-                                 joined.pairs);
+  // Registry-wide pricing: every eligible operator quotes a cost, the
+  // cheapest runs. Overrides (force_operator, force_scan, force_probe)
+  // bypass pricing but not eligibility checks at Run() time.
+  Result<const JoinOperator*> SelectOperator(
+      const join::JoinWorkload& workload, bool have_index) {
+    // Legacy-diagnostic costs: the two canonical access paths, exposed in
+    // ExecStats regardless of which operator wins.
+    if (stats_ != nullptr) {
+      auto scan_op = registry_.Find("tensor");
+      auto probe_op = registry_.Find("index");
+      if (scan_op.ok()) {
+        stats_->scan_cost_estimate =
+            (*scan_op)->EstimateCost(workload, context_.cost_params);
+      }
+      if (probe_op.ok()) {
+        stats_->probe_cost_estimate =
+            (*probe_op)->EstimateCost(workload, context_.cost_params);
+      }
+    }
+
+    if (!context_.force_operator.empty()) {
+      return registry_.Find(context_.force_operator);
+    }
+    if (context_.force_probe && have_index) return registry_.Find("index");
+    if (context_.force_scan) return registry_.Find("tensor");
+
+    const JoinOperator* best = nullptr;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const JoinOperator* op : registry_.operators()) {
+      const join::JoinOperatorTraits traits = op->Traits();
+      if (traits.needs_strings) continue;  // Vector domain here.
+      if (traits.needs_index && !have_index) continue;
+      if (context_.require_exact && !traits.exact) continue;
+      if (workload.condition.kind == join::JoinCondition::Kind::kTopK &&
+          !traits.supports_topk) {
+        continue;
+      }
+      if (workload.condition.kind ==
+              join::JoinCondition::Kind::kThreshold &&
+          !traits.supports_threshold) {
+        continue;
+      }
+      const double cost = op->EstimateCost(workload, context_.cost_params);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = op;
+      }
+    }
+    if (best == nullptr) {
+      return Status::Internal(
+          "EJoin: no eligible physical operator registered for this "
+          "workload");
+    }
+    return best;
   }
 
-  // Materializes Embed(Scan) for the probe path's output (no Select: probe
-  // ids are base-table positions). The embedding column already lives in
-  // the index's table; recomputing it here keeps the executor simple at the
+  // Materializes the probe path's right side: the base relation, plus the
+  // Embed output column for rewritten plans (no Select: probe ids are
+  // base-table positions). The embedding column already lives in the
+  // index's table; recomputing it here keeps the executor simple at the
   // cost of |S| model calls, acceptable because probe plans are chosen for
   // small result materializations.
-  Result<Relation> RunEmbedOverBase(const ProbePattern& pattern) {
+  Result<Relation> RightBaseRelation(const ProbePattern& pattern) {
     const Relation& base = *pattern.scan->relation;
+    if (pattern.embed == nullptr) return base;
     CEJ_ASSIGN_OR_RETURN(const Column* col,
                          base.ColumnByName(pattern.embed->input_column));
     la::Matrix embedded =
@@ -253,7 +403,15 @@ class PlanExecutor {
         Column::Vector(std::move(embedded)));
   }
 
+  join::JoinOptions BaseOptions() const {
+    join::JoinOptions options;
+    options.pool = context_.pool;
+    options.simd = context_.simd;
+    return options;
+  }
+
   const ExecContext& context_;
+  const JoinOperatorRegistry& registry_;
   ExecStats* stats_;
 };
 
@@ -264,6 +422,16 @@ Result<Relation> Execute(const NodePtr& plan, const ExecContext& context,
   CEJ_CHECK(plan != nullptr);
   PlanExecutor executor(context, stats);
   return executor.Run(plan);
+}
+
+Result<join::JoinStats> ExecuteToSink(const NodePtr& plan,
+                                      const ExecContext& context,
+                                      join::JoinSink* sink,
+                                      ExecStats* stats) {
+  CEJ_CHECK(plan != nullptr);
+  CEJ_CHECK(sink != nullptr);
+  PlanExecutor executor(context, stats);
+  return executor.RunToSink(plan, sink);
 }
 
 }  // namespace cej::plan

@@ -1,11 +1,18 @@
 // Physical planning and execution of logical plans.
 //
 // The executor materializes bottom-up. For EJoin it performs access-path
-// selection (Section VI.E): when the right subtree is an
-// Embed([Select(]Scan[)]) pipeline and a prebuilt vector index is
-// registered for that table/column, the cost model chooses between the
-// pre-filtered tensor-join scan and pre-filtered index probes; otherwise it
-// runs the scan path. String-key joins (un-rewritten plans) execute the
+// selection (Section VI.E) as a *registry scan*: every physical operator
+// registered in join::JoinOperatorRegistry that can serve the workload
+// (declared via its traits — string-domain, vector-domain, or index-backed)
+// prices itself through JoinOperator::EstimateCost, and the cheapest
+// eligible one runs. New operators (sharded, async, remote) participate in
+// planning by registering — no executor changes.
+//
+// When the right subtree is an Embed([Select(]Scan[)]) pipeline — or a
+// bare [Select(]Scan[)] over a stored vector column — and a prebuilt
+// vector index is registered for that table/column, the index operator
+// becomes eligible (pre-filtered probes); otherwise the scan-family
+// operators compete. String-key joins (un-rewritten plans) execute the
 // naive NLJ — deliberately, so un-optimized plans behave like Figure 8's
 // baseline. Run plan::Optimize first for production behaviour.
 
@@ -18,6 +25,8 @@
 #include "cej/common/status.h"
 #include "cej/common/thread_pool.h"
 #include "cej/index/vector_index.h"
+#include "cej/join/join_operator.h"
+#include "cej/join/join_sink.h"
 #include "cej/plan/access_path.h"
 #include "cej/plan/cost_model.h"
 #include "cej/plan/logical_plan.h"
@@ -29,9 +38,19 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   la::SimdMode simd = la::SimdMode::kAuto;
   CostParams cost_params;
-  /// Prebuilt vector indexes keyed by "<table>.<embed_output_column>".
+  /// Prebuilt vector indexes keyed by "<table>.<vector_column>" — the
+  /// Embed output column for rewritten plans, or a stored vector column.
   /// An index must cover the *base table* rows of its Scan.
   std::unordered_map<std::string, const index::VectorIndex*> indexes;
+  /// Physical operators to select from; nullptr = the global registry.
+  const join::JoinOperatorRegistry* operators = nullptr;
+  /// Forces the named registered operator for every EJoin ("" = cost
+  /// based). Takes precedence over force_scan / force_probe.
+  std::string force_operator;
+  /// Restricts cost-based selection to operators whose traits declare
+  /// exact results (excludes approximate index probes). Ignored by the
+  /// force_* overrides.
+  bool require_exact = false;
   /// Access-path override for experiments: kScan/kProbe forced when set.
   bool force_scan = false;
   bool force_probe = false;
@@ -40,9 +59,15 @@ struct ExecContext {
 /// Post-execution diagnostics.
 struct ExecStats {
   AccessPath join_access_path = AccessPath::kScan;
+  /// Name of the physical operator that ran the plan's last EJoin —
+  /// string-key (naive) or vector-key alike; empty when the plan had no
+  /// EJoin at all. Multi-join plans report only the last join executed.
+  std::string join_operator;
   double scan_cost_estimate = 0.0;
   double probe_cost_estimate = 0.0;
   uint64_t model_calls = 0;
+  /// Merged operator counters across every join in the plan.
+  join::JoinStats join_stats;
 };
 
 /// Executes `plan`, returning the materialized result relation.
@@ -51,6 +76,16 @@ struct ExecStats {
 Result<storage::Relation> Execute(const NodePtr& plan,
                                   const ExecContext& context,
                                   ExecStats* stats = nullptr);
+
+/// Streaming execution: `plan`'s root must be an EJoin. Subtrees
+/// materialize as usual, but the final join's matched pairs stream into
+/// `sink` (chunked, unordered, honouring early termination) instead of
+/// being materialized into a relation. Pair ids address the rows of the
+/// join's input relations.
+Result<join::JoinStats> ExecuteToSink(const NodePtr& plan,
+                                      const ExecContext& context,
+                                      join::JoinSink* sink,
+                                      ExecStats* stats = nullptr);
 
 }  // namespace cej::plan
 

@@ -1,0 +1,428 @@
+// Tests for the cej::Engine facade: catalog registration, the fluent
+// QueryBuilder, cross-validation of all four registered physical operators
+// on the same declarative workload (exact paths byte-identical, index path
+// recall-checked), operator forcing, streaming with early termination, and
+// the model-call accounting the optimizer story hinges on.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cej/cej.h"
+#include "cej/workload/generators.h"
+
+namespace cej {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+using storage::Relation;
+using storage::Schema;
+
+std::shared_ptr<const Relation> WordsTable(
+    const std::vector<std::string>& words, uint64_t date_seed) {
+  auto schema = Schema::Create({{"word", DataType::kString, 0},
+                                {"when", DataType::kDate, 0}});
+  CEJ_CHECK(schema.ok());
+  std::vector<Column> columns;
+  columns.push_back(Column::String(words));
+  columns.push_back(
+      Column::Date(workload::UniformDates(words.size(), 0, 99, date_seed)));
+  auto rel = Relation::Create(std::move(schema).value(), std::move(columns));
+  CEJ_CHECK(rel.ok());
+  return std::make_shared<const Relation>(std::move(rel).value());
+}
+
+std::shared_ptr<const Relation> VectorTable(la::Matrix embeddings) {
+  auto schema = Schema::Create(
+      {{"emb", DataType::kVector, embeddings.cols()}});
+  CEJ_CHECK(schema.ok());
+  std::vector<Column> columns;
+  columns.push_back(Column::Vector(std::move(embeddings)));
+  auto rel = Relation::Create(std::move(schema).value(), std::move(columns));
+  CEJ_CHECK(rel.ok());
+  return std::make_shared<const Relation>(std::move(rel).value());
+}
+
+// Renders (left word, right word, similarity) rows for comparison.
+std::vector<std::string> RenderPairs(const Relation& rel) {
+  std::vector<std::string> out;
+  const auto& lw = rel.ColumnByName("word").value()->string_values();
+  const auto& rw = rel.ColumnByName("right_word").value()->string_values();
+  const auto& sims = rel.ColumnByName("similarity").value()->double_values();
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
+    out.push_back(lw[i] + "|" + rw[i] + "|" + std::to_string(sims[i]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(EngineCatalogTest, DuplicateTableRejected) {
+  Engine engine;
+  auto table = WordsTable({"a"}, 1);
+  EXPECT_TRUE(engine.RegisterTable("t", table).ok());
+  EXPECT_EQ(engine.RegisterTable("t", table).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(engine.Table("t").ok());
+  EXPECT_EQ(engine.Table("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineCatalogTest, FirstModelBecomesDefault) {
+  Engine engine;
+  model::SubwordHashModel a, b;
+  ASSERT_TRUE(engine.RegisterModel("a", &a).ok());
+  ASSERT_TRUE(engine.RegisterModel("b", &b).ok());
+  EXPECT_EQ(*engine.DefaultModel(), &a);
+  ASSERT_TRUE(engine.SetDefaultModel("b").ok());
+  EXPECT_EQ(*engine.DefaultModel(), &b);
+  EXPECT_EQ(engine.SetDefaultModel("c").code(), StatusCode::kNotFound);
+}
+
+TEST(EngineCatalogTest, IndexRequiresRegisteredTable) {
+  Engine engine;
+  index::FlatIndex flat(workload::RandomUnitVectors(4, 8, 1));
+  EXPECT_EQ(engine.RegisterIndex("t", "emb", &flat).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(
+      engine.RegisterTable("t", VectorTable(workload::RandomUnitVectors(
+                                    4, 8, 1))).ok());
+  EXPECT_TRUE(engine.RegisterIndex("t", "emb", &flat).ok());
+  EXPECT_EQ(engine.RegisterIndex("t", "emb", &flat).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EngineQueryTest, UnknownTableSurfacesAtBuildTime) {
+  Engine engine;
+  auto result = engine.Query("nope").Execute();
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineQueryTest, StringJoinWithoutModelFails) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable("l", WordsTable({"a"}, 1)).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", WordsTable({"b"}, 2)).ok());
+  auto result = engine.Query("l")
+                    .EJoin("r", "word", join::JoinCondition::Threshold(0.5f))
+                    .Execute();
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation: the same declarative workload through all four
+// registered operators.
+// ---------------------------------------------------------------------------
+
+class EngineCrossValidationTest : public ::testing::Test {
+ protected:
+  // Byte-identity across operators holds per SIMD kernel: the engine (and
+  // any index it probes) is pinned to the scalar kernel so every exact
+  // operator accumulates similarities in the same order.
+  static Engine::Options ScalarEngine() {
+    Engine::Options options;
+    options.simd = la::SimdMode::kForceScalar;
+    return options;
+  }
+
+  EngineCrossValidationTest() : engine_(ScalarEngine()) {}
+
+  void SetUp() override {
+    left_words_ = workload::RandomStrings(25, 4, 8, 41);
+    right_words_ = workload::RandomStrings(120, 4, 8, 42);
+    // Plant the left words into the right relation so threshold joins are
+    // guaranteed non-empty (identical strings embed identically).
+    right_words_.insert(right_words_.end(), left_words_.begin(),
+                        left_words_.end());
+    ASSERT_TRUE(
+        engine_.RegisterTable("l", WordsTable(left_words_, 43)).ok());
+    ASSERT_TRUE(
+        engine_.RegisterTable("r", WordsTable(right_words_, 44)).ok());
+    ASSERT_TRUE(engine_.RegisterModel("subword", &model_).ok());
+    right_emb_ = model_.EmbedBatch(right_words_);
+  }
+
+  model::SubwordHashModel model_;
+  std::vector<std::string> left_words_, right_words_;
+  la::Matrix right_emb_;
+  Engine engine_;
+};
+
+TEST_F(EngineCrossValidationTest, ExactOperatorsAreByteIdentical) {
+  // naive (un-optimized plan), prefetch_nlj and tensor must produce the
+  // same threshold-join relation, byte for byte.
+  const auto condition = join::JoinCondition::Threshold(0.5f);
+
+  auto naive = engine_.Query("l")
+                   .EJoin("r", "word", condition)
+                   .WithoutOptimizer()
+                   .Execute();
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  EXPECT_EQ(naive->stats.join_operator, "naive_nlj");
+
+  auto prefetch = engine_.Query("l")
+                      .EJoin("r", "word", condition)
+                      .Via("prefetch_nlj")
+                      .Execute();
+  ASSERT_TRUE(prefetch.ok());
+  EXPECT_EQ(prefetch->stats.join_operator, "prefetch_nlj");
+
+  auto tensor = engine_.Query("l")
+                    .EJoin("r", "word", condition)
+                    .Via("tensor")
+                    .Execute();
+  ASSERT_TRUE(tensor.ok());
+  EXPECT_EQ(tensor->stats.join_operator, "tensor");
+
+  const auto reference = RenderPairs(naive->relation);
+  ASSERT_GT(reference.size(), 0u);
+  EXPECT_EQ(RenderPairs(prefetch->relation), reference);
+  EXPECT_EQ(RenderPairs(tensor->relation), reference);
+}
+
+TEST_F(EngineCrossValidationTest, ExactIndexMatchesScanExactly) {
+  // A flat (exhaustive) index has recall 1: forcing the index operator on
+  // the same top-k workload must reproduce the tensor relation exactly.
+  index::FlatIndex flat(right_emb_.Clone(), la::SimdMode::kForceScalar);
+  ASSERT_TRUE(engine_.RegisterIndex("r", "word", &flat).ok());
+  const auto condition = join::JoinCondition::TopK(3);
+
+  auto scan = engine_.Query("l")
+                  .EJoin("r", "word", condition)
+                  .Via("tensor")
+                  .Execute();
+  auto probe = engine_.Query("l")
+                   .EJoin("r", "word", condition)
+                   .Via("index")
+                   .Execute();
+  ASSERT_TRUE(scan.ok() && probe.ok());
+  EXPECT_EQ(probe->stats.join_operator, "index");
+  EXPECT_EQ(probe->stats.join_access_path, plan::AccessPath::kProbe);
+  EXPECT_EQ(RenderPairs(probe->relation), RenderPairs(scan->relation));
+}
+
+TEST_F(EngineCrossValidationTest, ApproximateIndexIsRecallChecked) {
+  auto hnsw = index::HnswIndex::Build(right_emb_.Clone(),
+                                      index::HnswBuildOptions::Hi());
+  ASSERT_TRUE(hnsw.ok());
+  (*hnsw)->set_ef_search(128);
+  ASSERT_TRUE(engine_.RegisterIndex("r", "word", hnsw->get()).ok());
+  const auto condition = join::JoinCondition::TopK(3);
+
+  auto scan = engine_.Query("l")
+                  .EJoin("r", "word", condition)
+                  .Via("tensor")
+                  .Execute();
+  auto probe = engine_.Query("l")
+                   .EJoin("r", "word", condition)
+                   .Via("index")
+                   .Execute();
+  ASSERT_TRUE(scan.ok() && probe.ok());
+
+  auto pair_set = [](const Relation& rel) {
+    std::set<std::pair<std::string, std::string>> out;
+    const auto& lw = rel.ColumnByName("word").value()->string_values();
+    const auto& rw =
+        rel.ColumnByName("right_word").value()->string_values();
+    for (size_t i = 0; i < rel.num_rows(); ++i) out.insert({lw[i], rw[i]});
+    return out;
+  };
+  const auto truth = pair_set(scan->relation);
+  const auto found = pair_set(probe->relation);
+  size_t hits = 0;
+  for (const auto& p : found) hits += truth.count(p);
+  EXPECT_GE(static_cast<double>(hits) / truth.size(), 0.9)
+      << "HNSW probe recall degraded";
+}
+
+TEST_F(EngineCrossValidationTest, OptimizerCutsModelCallsQuadraticToLinear) {
+  const auto condition = join::JoinCondition::Threshold(0.5f);
+  model_.ResetStats();
+  ASSERT_TRUE(engine_.Query("l")
+                  .EJoin("r", "word", condition)
+                  .WithoutOptimizer()
+                  .Execute()
+                  .ok());
+  const uint64_t naive_calls = model_.embed_calls();
+
+  model_.ResetStats();
+  ASSERT_TRUE(engine_.Query("l").EJoin("r", "word", condition).Execute().ok());
+  const uint64_t optimized_calls = model_.embed_calls();
+
+  const uint64_t m = left_words_.size(), n = right_words_.size();
+  EXPECT_EQ(naive_calls, 2u * m * n);
+  EXPECT_EQ(optimized_calls, m + n);
+}
+
+TEST_F(EngineCrossValidationTest, SelectionComposesWithJoinAndSimilarity) {
+  auto result =
+      engine_.Query("l")
+          .Select(expr::Cmp("when", expr::CmpOp::kLt, int64_t{50}))
+          .EJoin("r", "word", join::JoinCondition::TopK(2))
+          .Select(expr::Cmp("similarity", expr::CmpOp::kGt, 0.2))
+          .Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& when = result->relation.ColumnByName("when")
+                         .value()
+                         ->date_values();
+  const auto& sims = result->relation.ColumnByName("similarity")
+                         .value()
+                         ->double_values();
+  for (size_t i = 0; i < result->relation.num_rows(); ++i) {
+    EXPECT_LT(when[i], 50);
+    EXPECT_GT(sims[i], 0.2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stored vector columns (no model at all)
+// ---------------------------------------------------------------------------
+
+TEST(EngineVectorTest, BareVectorScanUsesRegisteredIndex) {
+  const size_t n = 500, dim = 16;
+  la::Matrix left = workload::RandomUnitVectors(20, dim, 51);
+  la::Matrix right = workload::RandomUnitVectors(n, dim, 52);
+  index::FlatIndex flat(right.Clone());
+
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable("q", VectorTable(left.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterTable("db", VectorTable(right.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterIndex("db", "emb", &flat).ok());
+
+  auto scan = engine.Query("q")
+                  .EJoin("db", "emb", join::JoinCondition::TopK(1))
+                  .Via("tensor")
+                  .Execute();
+  auto probe = engine.Query("q")
+                   .EJoin("db", "emb", join::JoinCondition::TopK(1))
+                   .Via("index")
+                   .Execute();
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(probe->stats.join_operator, "index");
+  ASSERT_EQ(scan->relation.num_rows(), probe->relation.num_rows());
+  const auto& a =
+      scan->relation.ColumnByName("similarity").value()->double_values();
+  const auto& b =
+      probe->relation.ColumnByName("similarity").value()->double_values();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(EngineVectorTest, RequireExactExcludesApproximateOperators) {
+  const size_t n = 400, dim = 16;
+  la::Matrix left = workload::RandomUnitVectors(10, dim, 53);
+  la::Matrix right = workload::RandomUnitVectors(n, dim, 54);
+  index::FlatIndex flat(right.Clone());
+
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable("q", VectorTable(left.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterTable("db", VectorTable(right.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterIndex("db", "emb", &flat).ok());
+
+  // Skew the cost model so the (approximate-traited) index operator wins
+  // every cost comparison...
+  plan::CostParams params;
+  params.tensor_efficiency = 1e6;
+  params.compute = 1e6;
+  params.probe_base = 0.0;
+  params.probe_per_candidate = 1e-9;
+  engine.set_cost_params(params);
+
+  auto free_choice = engine.Query("q")
+                         .EJoin("db", "emb", join::JoinCondition::TopK(1))
+                         .Execute();
+  ASSERT_TRUE(free_choice.ok());
+  ASSERT_EQ(free_choice->stats.join_operator, "index");
+
+  // ...then demand exact results: the cost scan must fall back to an
+  // exact operator even though the index is cheaper.
+  auto exact = engine.Query("q")
+                   .EJoin("db", "emb", join::JoinCondition::TopK(1))
+                   .RequireExact()
+                   .Execute();
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NE(exact->stats.join_operator, "index");
+  EXPECT_EQ(exact->stats.join_access_path, plan::AccessPath::kScan);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+TEST(EngineStreamTest, StreamDeliversAllPairsWithoutMaterializing) {
+  Engine engine;
+  la::Matrix left = workload::RandomUnitVectors(40, 8, 61);
+  la::Matrix right = workload::RandomUnitVectors(60, 8, 62);
+  ASSERT_TRUE(engine.RegisterTable("l", VectorTable(left.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", VectorTable(right.Clone())).ok());
+
+  join::CountingSink sink;
+  auto stats = engine.Query("l")
+                   .EJoin("r", "emb", join::JoinCondition::TopK(2))
+                   .Stream(&sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(sink.count(), 40u * 2u);
+  EXPECT_EQ(stats->similarity_computations, 40u * 60u);
+}
+
+TEST(EngineStreamTest, EarlyTerminationStopsTheJoin) {
+  // LIMIT-style consumption: a bounded sink stops the full-cross-product
+  // join long before |R| x |S| similarity computations.
+  Engine engine;
+  const size_t m = 1500, n = 1500;
+  la::Matrix left = workload::RandomUnitVectors(m, 8, 63);
+  la::Matrix right = workload::RandomUnitVectors(n, 8, 64);
+  ASSERT_TRUE(engine.RegisterTable("l", VectorTable(left.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", VectorTable(right.Clone())).ok());
+
+  join::MaterializingSink::Options options;
+  options.max_pairs = 500;
+  join::MaterializingSink sink(options);
+  auto stats = engine.Query("l")
+                   .EJoin("r", "emb", join::JoinCondition::Threshold(-2.0f))
+                   .Stream(&sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(sink.truncated());
+  EXPECT_EQ(sink.pairs().size(), 500u);
+  EXPECT_LT(stats->similarity_computations,
+            static_cast<uint64_t>(m) * n / 10)
+      << "early termination did not cut the sweep short";
+}
+
+TEST(EngineStreamTest, StreamRequiresAJoinRoot) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterTable("t", WordsTable({"a", "b"}, 71)).ok());
+  join::CountingSink sink;
+  auto stats = engine.Query("t")
+                   .Select(expr::Cmp("when", expr::CmpOp::kLt, int64_t{50}))
+                   .Stream(&sink);
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------
+
+TEST(EngineExplainTest, ShowsBothPlans) {
+  Engine engine;
+  model::SubwordHashModel model;
+  ASSERT_TRUE(engine.RegisterTable("l", WordsTable({"a"}, 1)).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", WordsTable({"b"}, 2)).ok());
+  ASSERT_TRUE(engine.RegisterModel("m", &model).ok());
+  auto explain = engine.Query("l")
+                     .EJoin("r", "word", join::JoinCondition::Threshold(0.5f))
+                     .Explain();
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("logical plan"), std::string::npos);
+  EXPECT_NE(explain->find("optimized plan"), std::string::npos);
+  EXPECT_NE(explain->find("EJoin"), std::string::npos);
+  EXPECT_NE(explain->find("Embed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cej
