@@ -25,6 +25,13 @@ inline bool FullScale() {
   return env != nullptr && std::strcmp(env, "full") == 0;
 }
 
+/// True when CEJ_BENCH_SCALE=smoke is set: tiny inputs, seconds per
+/// binary — the CI anti-bit-rot configuration, not a measurement.
+inline bool SmokeScale() {
+  const char* env = std::getenv("CEJ_BENCH_SCALE");
+  return env != nullptr && std::strcmp(env, "smoke") == 0;
+}
+
 /// Picks the laptop-scale or paper-scale value.
 inline size_t Scaled(size_t laptop, size_t paper) {
   return FullScale() ? paper : laptop;
@@ -34,7 +41,9 @@ inline size_t Scaled(size_t laptop, size_t paper) {
 inline void PrintHeader(const char* name, const char* paper_ref) {
   std::printf("# %s — reproduces %s\n", name, paper_ref);
   std::printf("# host: %s | scale: %s\n", CpuInfo::Describe().c_str(),
-              FullScale() ? "full (paper sizes)" : "laptop (scaled down)");
+              FullScale()    ? "full (paper sizes)"
+              : SmokeScale() ? "smoke (CI tiny sizes)"
+                             : "laptop (scaled down)");
 }
 
 /// Times `fn` once and returns milliseconds.

@@ -1,48 +1,82 @@
 // Figure 14: "Tensor join vs. NLJ formulation, 100-D, 48 threads." —
 // end-to-end execution time of the two scan-based formulations across
 // growing input sizes (paper: 10k x 10k ... 1M x 1M, where NLJ at
-// 1M x 1M times out beyond 40 minutes).
+// 1M x 1M times out beyond 40 minutes), extended with the layers this
+// repo adds on top of the figure:
 //
-// Expected shape: both scale ~linearly in |R|*|S|; tensor is close to an
-// order of magnitude faster at every size.
+//   [1] the original tensor-vs-NLJ sweep over prefetched matrices;
+//   [2] EmbedBatch throughput, sequential vs pool-parallel;
+//   [3] end-to-end string joins through the Engine for the three
+//       scan-family operators, including `pipelined_tensor` (embedding
+//       overlapped with the sweep on the streaming surface);
+//   [4] cold vs warm embedding-cache runs of the same query.
+//
+// Expected shape: [1] tensor ~an order of magnitude faster, both linear
+// in |R|*|S|; [2] parallel embedding scales with cores; [3] pipelined <=
+// tensor < prefetch_nlj end-to-end, with the pipelined gap widest when
+// embed and sweep cost are balanced; [4] warm runs report zero model
+// calls and drop the embedding term entirely.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "cej/api/engine.h"
+#include "cej/common/cpu_info.h"
 #include "cej/join/nlj_prefetch.h"
 #include "cej/join/tensor_join.h"
+#include "cej/model/subword_hash_model.h"
 #include "cej/workload/generators.h"
 
-int main() {
-  using namespace cej;
-  bench::PrintHeader("bench_fig14_tensor_vs_nlj_e2e",
-                     "Figure 14 (tensor vs NLJ end-to-end)");
+namespace {
 
+using namespace cej;
+
+constexpr size_t kDim = 100;
+
+storage::Relation WordsRelation(const std::vector<std::string>& words) {
+  auto schema = storage::Schema::Create(
+      {{"word", storage::DataType::kString, 0}});
+  CEJ_CHECK(schema.ok());
+  std::vector<storage::Column> columns;
+  columns.push_back(storage::Column::String(words));
+  auto rel = storage::Relation::Create(std::move(schema).value(),
+                                       std::move(columns));
+  CEJ_CHECK(rel.ok());
+  return std::move(rel).value();
+}
+
+// [1] The original figure: tensor vs NLJ over prefetched matrices.
+void BenchMatrixFormulations() {
   struct Case {
     size_t m, n;
     bool run_nlj;
   };
-  const std::vector<Case> cases =
-      bench::FullScale()
-          ? std::vector<Case>{{10000, 10000, true},
-                              {100000, 10000, true},
-                              {100000, 100000, true},
-                              {1000000, 100000, true},
-                              {1000000, 1000000, false}}  // NLJ times out.
-          : std::vector<Case>{{1000, 1000, true},
-                              {10000, 1000, true},
-                              {10000, 10000, true},
-                              {30000, 10000, true},
-                              {100000, 30000, false}};
+  std::vector<Case> cases;
+  if (bench::FullScale()) {
+    cases = {{10000, 10000, true},
+             {100000, 10000, true},
+             {100000, 100000, true},
+             {1000000, 100000, true},
+             {1000000, 1000000, false}};  // NLJ times out.
+  } else if (bench::SmokeScale()) {
+    cases = {{500, 500, true}, {2000, 1000, true}};
+  } else {
+    cases = {{1000, 1000, true},
+             {10000, 1000, true},
+             {10000, 10000, true},
+             {30000, 10000, true},
+             {100000, 30000, false}};
+  }
 
-  const size_t dim = 100;
   const auto condition = join::JoinCondition::Threshold(0.95f);
-  std::printf("\n%-20s %14s %14s %10s\n", "|R| x |S|", "Tensor[ms]",
+  std::printf("\n[1] tensor vs NLJ, prefetched matrices\n");
+  std::printf("%-20s %14s %14s %10s\n", "|R| x |S|", "Tensor[ms]",
               "NLJ[ms]", "speedup");
   for (const auto& c : cases) {
-    la::Matrix left = workload::RandomUnitVectors(c.m, dim, 1);
-    la::Matrix right = workload::RandomUnitVectors(c.n, dim, 2);
+    la::Matrix left = workload::RandomUnitVectors(c.m, kDim, 1);
+    la::Matrix right = workload::RandomUnitVectors(c.n, kDim, 2);
 
     join::TensorJoinOptions tensor_options;
     tensor_options.pool = &bench::Pool();
@@ -72,8 +106,146 @@ int main() {
                   "(timeout)", "-");
     }
   }
+}
+
+// [2] Batch embedding: sequential loop vs pool-parallel chunks.
+void BenchEmbedBatch(const model::SubwordHashModel& model) {
+  const size_t n = bench::SmokeScale() ? 2000 : bench::Scaled(30000, 200000);
+  auto words = workload::RandomStrings(n, 6, 14, 11);
+
+  const double seq_ms =
+      bench::TimeMs([&] { auto m = model.EmbedBatch(words); });
+  const double par_ms = bench::TimeMs(
+      [&] { auto m = model.EmbedBatch(words, &bench::Pool()); });
+  std::printf("\n[2] EmbedBatch, %zu strings, dim %zu, %d threads\n", n,
+              model.dim(), bench::Pool().num_threads());
+  std::printf("%-24s %12.1f ms\n", "sequential", seq_ms);
+  std::printf("%-24s %12.1f ms  (%.2fx)\n", "parallel", par_ms,
+              seq_ms / par_ms);
+}
+
+struct E2eCase {
+  size_t m, n;
+};
+
+// One cold end-to-end string join through the Engine streaming surface.
+double RunE2e(const std::vector<std::string>& left_words,
+              const std::vector<std::string>& right_words,
+              const model::SubwordHashModel& model, const char* op,
+              uint64_t* model_calls) {
+  Engine::Options options;
+  options.num_threads = CpuInfo::HardwareThreads();
+  Engine engine(options);
+  CEJ_CHECK(engine.RegisterTable("l", WordsRelation(left_words)).ok());
+  CEJ_CHECK(engine.RegisterTable("r", WordsRelation(right_words)).ok());
+  CEJ_CHECK(engine.RegisterModel("m", &model).ok());
+
+  plan::ExecStats stats;
+  const double ms = bench::TimeMs([&] {
+    join::CountingSink sink;
+    auto builder = engine.Query("l").EJoin(
+        "r", "word", join::JoinCondition::Threshold(0.8f));
+    auto run = builder.Via(op).Stream(&sink, &stats);
+    CEJ_CHECK(run.ok());
+  });
+  *model_calls = stats.model_calls;
+  return ms;
+}
+
+// [3] End-to-end string joins: the three scan-family operators.
+void BenchE2eOperators(const model::SubwordHashModel& model) {
+  std::vector<E2eCase> cases;
+  if (bench::FullScale()) {
+    cases = {{1000, 300000}, {10000, 300000}, {100000, 300000}};
+  } else if (bench::SmokeScale()) {
+    cases = {{100, 2000}};
+  } else {
+    // Spans embed-dominant (small |R|) to sweep-dominant (large |R|): the
+    // pipelined win peaks where the two phases are balanced.
+    cases = {{200, 30000}, {2000, 30000}, {10000, 30000}};
+  }
+
   std::printf(
-      "# shape check: tensor ~an order of magnitude faster across sizes; "
-      "both scale linearly in |R|*|S|.\n");
+      "\n[3] end-to-end string join, dim %zu, threshold 0.8, cold cache\n",
+      model.dim());
+  std::printf("%-16s %16s %14s %18s %12s\n", "|R| x |S|",
+              "prefetch_nlj[ms]", "tensor[ms]", "pipelined_tensor[ms]",
+              "pipe calls");
+  for (const auto& c : cases) {
+    auto left_words = workload::RandomStrings(c.m, 6, 14, 21);
+    auto right_words = workload::RandomStrings(c.n, 6, 14, 22);
+    uint64_t calls = 0;
+    const double prefetch_ms =
+        RunE2e(left_words, right_words, model, "prefetch_nlj", &calls);
+    const double tensor_ms =
+        RunE2e(left_words, right_words, model, "tensor", &calls);
+    uint64_t pipelined_calls = 0;
+    const double pipelined_ms = RunE2e(left_words, right_words, model,
+                                       "pipelined_tensor", &pipelined_calls);
+    char label[40];
+    std::snprintf(label, sizeof(label), "%zu x %zu", c.m, c.n);
+    // The fused path must still pay exactly |R| + |S| model calls.
+    CEJ_CHECK(pipelined_calls == calls && pipelined_calls == c.m + c.n);
+    std::printf("%-16s %16.1f %14.1f %18.1f %12llu\n", label, prefetch_ms,
+                tensor_ms, pipelined_ms,
+                static_cast<unsigned long long>(pipelined_calls));
+  }
+}
+
+// [4] The embedding cache: the same query, cold then warm.
+void BenchColdWarmCache(const model::SubwordHashModel& model) {
+  const size_t m = bench::SmokeScale() ? 200 : bench::Scaled(5000, 100000);
+  const size_t n = bench::SmokeScale() ? 1000 : bench::Scaled(30000, 300000);
+  auto left_words = workload::RandomStrings(m, 6, 14, 31);
+  auto right_words = workload::RandomStrings(n, 6, 14, 32);
+
+  Engine::Options options;
+  options.num_threads = CpuInfo::HardwareThreads();
+  Engine engine(options);
+  CEJ_CHECK(engine.RegisterTable("l", WordsRelation(left_words)).ok());
+  CEJ_CHECK(engine.RegisterTable("r", WordsRelation(right_words)).ok());
+  CEJ_CHECK(engine.RegisterModel("m", &model).ok());
+
+  std::printf("\n[4] embedding cache, %zu x %zu, tensor operator\n", m, n);
+  std::printf("%-10s %12s %14s %12s %12s\n", "run", "time[ms]",
+              "model_calls", "cache_hits", "cache_miss");
+  for (const char* label : {"cold", "warm", "warm"}) {
+    QueryResult result;
+    const double ms = bench::TimeMs([&] {
+      auto r = engine.Query("l")
+                   .EJoin("r", "word", join::JoinCondition::Threshold(0.8f))
+                   .Via("tensor")
+                   .Execute();
+      CEJ_CHECK(r.ok());
+      result = std::move(*r);
+    });
+    std::printf("%-10s %12.1f %14llu %12llu %12llu\n", label, ms,
+                static_cast<unsigned long long>(result.stats.model_calls),
+                static_cast<unsigned long long>(
+                    result.stats.embedding_cache_hits),
+                static_cast<unsigned long long>(
+                    result.stats.embedding_cache_misses));
+    CEJ_CHECK(std::string(label) != "warm" ||
+              result.stats.model_calls == 0);  // Warm = zero model calls.
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("bench_fig14_tensor_vs_nlj_e2e",
+                     "Figure 14 (tensor vs NLJ end-to-end) + embedding "
+                     "pipeline extensions");
+  model::SubwordHashModel model;  // dim 100, the paper's configuration.
+
+  BenchMatrixFormulations();
+  BenchEmbedBatch(model);
+  BenchE2eOperators(model);
+  BenchColdWarmCache(model);
+
+  std::printf(
+      "\n# shape check: [1] tensor ~an order of magnitude faster; "
+      "[2] parallel EmbedBatch scales with cores; [3] pipelined_tensor <= "
+      "tensor < prefetch_nlj; [4] warm runs report zero model calls.\n");
   return 0;
 }

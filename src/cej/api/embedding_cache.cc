@@ -1,0 +1,121 @@
+#include "cej/api/embedding_cache.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace cej {
+
+std::string EmbeddingCache::Key(const std::string& table,
+                                const std::string& column,
+                                const model::EmbeddingModel* model) {
+  char model_tag[32];
+  std::snprintf(model_tag, sizeof(model_tag), "%p",
+                static_cast<const void*>(model));
+  // '\0' cannot occur inside a column name, so it is an unambiguous
+  // separator between the three key parts.
+  std::string key;
+  key.reserve(table.size() + column.size() + sizeof(model_tag) + 2);
+  key.append(table);
+  key.push_back('\0');
+  key.append(column);
+  key.push_back('\0');
+  key.append(model_tag);
+  return key;
+}
+
+std::shared_ptr<const la::Matrix> EmbeddingCache::Get(
+    const std::string& table, const std::string& column,
+    const model::EmbeddingModel* model) {
+  if (options_.max_bytes == 0) return nullptr;
+  const std::string key = Key(table, column, model);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.matrix;
+}
+
+void EmbeddingCache::Put(const std::string& table, const std::string& column,
+                         const model::EmbeddingModel* model,
+                         la::Matrix embedding) {
+  Put(table, column, model,
+      std::make_shared<const la::Matrix>(std::move(embedding)));
+}
+
+void EmbeddingCache::Put(const std::string& table, const std::string& column,
+                         const model::EmbeddingModel* model,
+                         std::shared_ptr<const la::Matrix> embedding) {
+  if (embedding == nullptr) return;
+  const size_t entry_bytes = embedding->MemoryBytes();
+  if (options_.max_bytes == 0 || entry_bytes > options_.max_bytes) return;
+  const std::string key = Key(table, column, model);
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveLocked(key);
+  lru_.push_front(key);
+  Entry entry;
+  entry.table = table;
+  entry.matrix = std::move(embedding);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_ += entry_bytes;
+  EvictToBudgetLocked();
+}
+
+void EmbeddingCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.table == table) {
+      bytes_ -= it->second.matrix->MemoryBytes();
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  invalidations_ += entries_.size();
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+EmbeddingCache::Stats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void EmbeddingCache::EvictToBudgetLocked() {
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.matrix->MemoryBytes();
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void EmbeddingCache::RemoveLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.matrix->MemoryBytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+}  // namespace cej

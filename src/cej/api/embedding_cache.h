@@ -1,0 +1,111 @@
+// Engine-owned cache of full-column embeddings, keyed by
+// (table, column, model).
+//
+// Model invocation dominates context-enhanced join cost (paper Section V),
+// and a registered table's key column embeds to the same matrix on every
+// query — so the executor embeds a base-table column once, parks the
+// matrix here, and every later query over the same (table, column, model)
+// reuses it with zero model calls (filtered queries gather the surviving
+// rows out of the cached full-table matrix). Entries are invalidated when
+// a table is re-registered (Engine::ReplaceTable) and evicted LRU-first
+// under a byte budget.
+//
+// Thread-safe: queries running concurrently share the cache. Cached
+// matrices are handed out as shared_ptr so an eviction or invalidation
+// never pulls memory out from under a running query.
+
+#ifndef CEJ_API_EMBEDDING_CACHE_H_
+#define CEJ_API_EMBEDDING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cej/la/matrix.h"
+
+namespace cej::model {
+class EmbeddingModel;
+}
+
+namespace cej {
+
+/// LRU cache of per-(table, column, model) embedding matrices.
+class EmbeddingCache {
+ public:
+  struct Options {
+    /// Total budget for cached matrices, in bytes. Inserting past the
+    /// budget evicts least-recently-used entries; an entry larger than the
+    /// whole budget is not cached at all. 0 disables caching entirely.
+    size_t max_bytes = size_t{256} << 20;
+  };
+
+  /// Point-in-time counters (monotonic except bytes/entries).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  EmbeddingCache() = default;
+  explicit EmbeddingCache(Options options) : options_(options) {}
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// The cached full-table embedding of `table`.`column` under `model`, or
+  /// nullptr. A hit refreshes the entry's recency.
+  std::shared_ptr<const la::Matrix> Get(const std::string& table,
+                                        const std::string& column,
+                                        const model::EmbeddingModel* model);
+
+  /// Parks a freshly computed full-table embedding, evicting LRU entries
+  /// until the budget holds. Replaces any existing entry for the key.
+  /// The shared form is copy-free: the caller keeps using the same matrix
+  /// it handed over (e.g. inside a result column).
+  void Put(const std::string& table, const std::string& column,
+           const model::EmbeddingModel* model, la::Matrix embedding);
+  void Put(const std::string& table, const std::string& column,
+           const model::EmbeddingModel* model,
+           std::shared_ptr<const la::Matrix> embedding);
+
+  /// Drops every entry belonging to `table` (any column, any model) —
+  /// the re-registration hook.
+  void InvalidateTable(const std::string& table);
+
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string table;
+    std::shared_ptr<const la::Matrix> matrix;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  static std::string Key(const std::string& table, const std::string& column,
+                         const model::EmbeddingModel* model);
+  void EvictToBudgetLocked();
+  void RemoveLocked(const std::string& key);
+
+  Options options_;
+  mutable std::mutex mu_;
+  // Front = most recently used.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> entries_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace cej
+
+#endif  // CEJ_API_EMBEDDING_CACHE_H_

@@ -17,6 +17,11 @@ Engine::Engine(const Options& options) : options_(options) {
   if (options_.num_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.embedding_cache_bytes > 0) {
+    EmbeddingCache::Options cache_options;
+    cache_options.max_bytes = options_.embedding_cache_bytes;
+    embedding_cache_ = std::make_unique<EmbeddingCache>(cache_options);
+  }
 }
 
 Engine::~Engine() = default;
@@ -37,6 +42,33 @@ Status Engine::RegisterTable(
     return Status::AlreadyExists("table '" + it->first +
                                  "' already registered");
   }
+  return Status::OK();
+}
+
+Status Engine::ReplaceTable(std::string name, storage::Relation table) {
+  return ReplaceTable(
+      std::move(name),
+      std::make_shared<const storage::Relation>(std::move(table)));
+}
+
+Status Engine::ReplaceTable(
+    std::string name, std::shared_ptr<const storage::Relation> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("ReplaceTable: null table");
+  }
+  // Drop everything derived from the old contents: cached column
+  // embeddings AND registered indexes (a stale index would silently probe
+  // the old table's vectors — re-register after rebuilding it).
+  if (embedding_cache_ != nullptr) embedding_cache_->InvalidateTable(name);
+  const std::string prefix = name + ".";
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tables_[std::move(name)] = std::move(table);
   return Status::OK();
 }
 
@@ -126,6 +158,7 @@ plan::ExecContext Engine::MakeExecContext() const {
   context.pool = pool_.get();
   context.simd = options_.simd;
   context.cost_params = cost_params_;
+  context.embedding_cache = embedding_cache_.get();
   for (const auto& [key, index] : indexes_) {
     context.indexes[key] = index;
   }

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cej/api/embedding_cache.h"
 #include "cej/common/status.h"
 #include "cej/common/thread_pool.h"
 #include "cej/expr/predicate.h"
@@ -60,6 +61,10 @@ class Engine {
     /// Worker threads for join execution; 0 runs on the calling thread.
     int num_threads = 0;
     la::SimdMode simd = la::SimdMode::kAuto;
+    /// Byte budget of the per-(table, column, model) embedding cache:
+    /// a registered table's key column is embedded once and reused across
+    /// queries (LRU-evicted past the budget). 0 disables the cache.
+    size_t embedding_cache_bytes = size_t{256} << 20;
   };
 
   Engine();
@@ -75,6 +80,14 @@ class Engine {
   Status RegisterTable(std::string name, storage::Relation table);
   Status RegisterTable(std::string name,
                        std::shared_ptr<const storage::Relation> table);
+
+  /// Re-registers `name` with new contents (registering it if absent) and
+  /// invalidates everything derived from the old contents: embedding-cache
+  /// entries AND registered indexes over the table (rebuild and
+  /// re-register indexes for the new data).
+  Status ReplaceTable(std::string name, storage::Relation table);
+  Status ReplaceTable(std::string name,
+                      std::shared_ptr<const storage::Relation> table);
 
   /// Registers a borrowed model (must outlive the engine). The first
   /// registered model becomes the default for EJoin embedding.
@@ -115,6 +128,11 @@ class Engine {
 
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The engine's embedding cache, or nullptr when disabled
+  /// (Options::embedding_cache_bytes == 0). Exposed for introspection
+  /// (hit/miss/byte counters) and manual Clear().
+  EmbeddingCache* embedding_cache() const { return embedding_cache_.get(); }
+
   /// The execution context queries run under — exposed for advanced
   /// callers mixing the facade with the plan layer.
   plan::ExecContext MakeExecContext() const;
@@ -124,6 +142,7 @@ class Engine {
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<EmbeddingCache> embedding_cache_;
   plan::CostParams cost_params_;
 
   std::unordered_map<std::string, std::shared_ptr<const storage::Relation>>

@@ -62,12 +62,24 @@ void ThreadPool::ParallelForRange(
     body(begin, end);
     return;
   }
+  // Completion is tracked per call, NOT via the pool-global in-flight
+  // counter: concurrent ParallelForRange calls sharing the pool (e.g. a
+  // pipelined producer embedding one tile while the consumer sweeps
+  // another) must not serialize on each other's chunks.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = num_chunks;
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t chunk_begin = begin + c * chunk;
     const size_t chunk_end = std::min(end, chunk_begin + chunk);
-    Submit([&body, chunk_begin, chunk_end] { body(chunk_begin, chunk_end); });
+    Submit([&body, chunk_begin, chunk_end, &done_mu, &done_cv, &remaining] {
+      body(chunk_begin, chunk_end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -63,7 +63,7 @@ Result<SelectionResult> ESelectStrings(const std::vector<std::string>& rows,
   }
   const uint64_t model_calls_before = model.embed_calls();
   WallTimer embed_timer;
-  la::Matrix embedded = model.EmbedBatch(rows);
+  la::Matrix embedded = model.EmbedBatch(rows, options.pool);
   std::vector<float> query_vec = model.EmbedToVector(query);
   const double embed_seconds = embed_timer.ElapsedSeconds();
 

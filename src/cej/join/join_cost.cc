@@ -25,6 +25,14 @@ double TensorJoinCost(size_t m, size_t n, const CostParams& p) {
          static_cast<double>(m + n) * p.model;
 }
 
+double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p) {
+  const double embed_right = static_cast<double>(n) * p.model;
+  const double sweep = static_cast<double>(m) * static_cast<double>(n) *
+                       (p.access + p.compute) * p.tensor_efficiency;
+  return static_cast<double>(m) * p.model +
+         (embed_right > sweep ? embed_right : sweep);
+}
+
 double IndexProbeCost(size_t n, const CostParams& p) {
   const double depth = n > 1 ? std::log(static_cast<double>(n)) : 1.0;
   return p.probe_base + p.probe_per_candidate *

@@ -56,6 +56,14 @@ double PrefetchENljCost(size_t m, size_t n, const CostParams& p);
 /// Cost of the tensor-join formulation (prefetch + blocked kernel).
 double TensorJoinCost(size_t m, size_t n, const CostParams& p);
 
+/// Cost of the pipelined tensor join: the left side is embedded up front,
+/// then the right-side embedding of tile k+1 overlaps the blocked sweep of
+/// tile k, so across the tile stream the two phases cost max(embed, sweep)
+/// instead of their sum (the Section V model-invocation bottleneck hidden
+/// behind compute). Always <= TensorJoinCost for the same shape; the gap is
+/// min(|S| * M, sweep) — largest when model and sweep cost are balanced.
+double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p);
+
 /// Per-probe cost model I_probe over an index of n entries.
 double IndexProbeCost(size_t n, const CostParams& p);
 
@@ -75,6 +83,11 @@ struct JoinWorkload {
   double right_selectivity = 1.0;
   JoinCondition condition;
   bool index_available = false;
+  /// True when the planner can hand the right relation to the operator as
+  /// raw strings plus a model (an un-materialized Embed pipeline), letting
+  /// pipelined operators overlap embedding with the sweep. Operators that
+  /// need that fusion price themselves infinite when it is unavailable.
+  bool right_strings_streamable = false;
 };
 
 }  // namespace cej::join

@@ -8,6 +8,7 @@
 #include "cej/join/index_join.h"
 #include "cej/join/nlj_naive.h"
 #include "cej/join/nlj_prefetch.h"
+#include "cej/join/pipelined_tensor.h"
 #include "cej/join/tensor_join.h"
 
 namespace cej::join {
@@ -44,10 +45,11 @@ size_t FilteredRight(const JoinWorkload& w) {
 // representation on demand (the prefetch primitive) — per side, so a
 // caller with one side already embedded (e.g. a cached left batch plus a
 // fresh right feed) never has its supplied vectors ignored or recomputed.
+// On-demand embedding parallelizes over `pool` when one is supplied.
 // `storage` keeps freshly embedded matrices alive; `stats` absorbs the
 // model counters.
-Status MaterializeVectors(const JoinInputs& in, const la::Matrix** left,
-                          const la::Matrix** right,
+Status MaterializeVectors(const JoinInputs& in, ThreadPool* pool,
+                          const la::Matrix** left, const la::Matrix** right,
                           std::pair<la::Matrix, la::Matrix>* storage,
                           JoinStats* stats) {
   *left = in.left_vectors;
@@ -63,12 +65,12 @@ Status MaterializeVectors(const JoinInputs& in, const la::Matrix** left,
   const uint64_t calls_before = in.model->embed_calls();
   WallTimer timer;
   if (*left == nullptr) {
-    storage->first = in.model->EmbedBatch(*in.left_strings);
+    storage->first = in.model->EmbedBatch(*in.left_strings, pool);
     embed_stats.peak_buffer_bytes += storage->first.MemoryBytes();
     *left = &storage->first;
   }
   if (*right == nullptr) {
-    storage->second = in.model->EmbedBatch(*in.right_strings);
+    storage->second = in.model->EmbedBatch(*in.right_strings, pool);
     embed_stats.peak_buffer_bytes += storage->second.MemoryBytes();
     *right = &storage->second;
   }
@@ -79,8 +81,9 @@ Status MaterializeVectors(const JoinInputs& in, const la::Matrix** left,
 }
 
 // Ensures the left side exists in the vector domain (probe queries).
-Status MaterializeLeftVectors(const JoinInputs& in, const la::Matrix** left,
-                              la::Matrix* storage, JoinStats* stats) {
+Status MaterializeLeftVectors(const JoinInputs& in, ThreadPool* pool,
+                              const la::Matrix** left, la::Matrix* storage,
+                              JoinStats* stats) {
   if (in.left_vectors != nullptr) {
     *left = in.left_vectors;
     return Status::OK();
@@ -93,7 +96,7 @@ Status MaterializeLeftVectors(const JoinInputs& in, const la::Matrix** left,
   JoinStats embed_stats;
   const uint64_t calls_before = in.model->embed_calls();
   WallTimer timer;
-  *storage = in.model->EmbedBatch(*in.left_strings);
+  *storage = in.model->EmbedBatch(*in.left_strings, pool);
   embed_stats.embed_seconds = timer.ElapsedSeconds();
   embed_stats.model_calls = in.model->embed_calls() - calls_before;
   embed_stats.peak_buffer_bytes = storage->MemoryBytes();
@@ -161,8 +164,8 @@ class PrefetchNljOperator : public JoinOperator {
     const la::Matrix* left = nullptr;
     const la::Matrix* right = nullptr;
     std::pair<la::Matrix, la::Matrix> storage;
-    CEJ_RETURN_IF_ERROR(
-        MaterializeVectors(inputs, &left, &right, &storage, &total));
+    CEJ_RETURN_IF_ERROR(MaterializeVectors(inputs, options.pool, &left,
+                                           &right, &storage, &total));
     NljOptions nlj_options;
     static_cast<JoinOptions&>(nlj_options) = options;
     CEJ_ASSIGN_OR_RETURN(
@@ -203,8 +206,8 @@ class TensorJoinOperator : public JoinOperator {
     const la::Matrix* left = nullptr;
     const la::Matrix* right = nullptr;
     std::pair<la::Matrix, la::Matrix> storage;
-    CEJ_RETURN_IF_ERROR(
-        MaterializeVectors(inputs, &left, &right, &storage, &total));
+    CEJ_RETURN_IF_ERROR(MaterializeVectors(inputs, options.pool, &left,
+                                           &right, &storage, &total));
     TensorJoinOptions tensor_options;
     static_cast<JoinOptions&>(tensor_options) = options;
     CEJ_ASSIGN_OR_RETURN(JoinStats join_stats,
@@ -262,7 +265,7 @@ class IndexJoinOperator : public JoinOperator {
     const la::Matrix* left = nullptr;
     la::Matrix storage;
     CEJ_RETURN_IF_ERROR(
-        MaterializeLeftVectors(inputs, &left, &storage, &total));
+        MaterializeLeftVectors(inputs, options.pool, &left, &storage, &total));
     IndexJoinOptions index_options;
     static_cast<JoinOptions&>(index_options) = options;
     index_options.filter = inputs.right_filter;
@@ -270,6 +273,73 @@ class IndexJoinOperator : public JoinOperator {
         JoinStats join_stats,
         IndexJoinToSink(*left, *inputs.right_index, condition, index_options,
                         sink));
+    total += join_stats;
+    return total;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pipelined_tensor — right-side embedding overlapped with the GEMM sweep.
+// ---------------------------------------------------------------------------
+class PipelinedTensorOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "pipelined_tensor"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    // Validation-wise the operator accepts whatever the tensor join does
+    // (vectors, or strings plus a model, per side); the extra trait tells
+    // the planner it prefers the right side as a raw string stream.
+    t.needs_vectors = true;
+    t.streams_right_strings = true;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    // Without a string-streamable right side there is no embedding left to
+    // hide — the plain tensor operator covers that shape, so bow out of
+    // the cost scan entirely.
+    if (!w.right_strings_streamable) return kInf;
+    return static_cast<double>(w.right_rows) * p.access +
+           PipelinedTensorJoinCost(w.left_rows, FilteredRight(w), p);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    PipelinedTensorOptions pipe_options;
+    static_cast<JoinOptions&>(pipe_options) = options;
+    // Pipeline only when the right side NEEDS embedding: supplied vectors
+    // are never ignored or recomputed (the MaterializeVectors contract).
+    if (inputs.right_vectors == nullptr && inputs.right_strings != nullptr &&
+        HasModel(inputs)) {
+      JoinStats total;
+      const la::Matrix* left = nullptr;
+      la::Matrix storage;
+      CEJ_RETURN_IF_ERROR(MaterializeLeftVectors(inputs, options.pool, &left,
+                                                 &storage, &total));
+      CEJ_ASSIGN_OR_RETURN(
+          JoinStats join_stats,
+          PipelinedTensorJoinToSink(*left, *inputs.right_strings,
+                                    *inputs.model, condition, pipe_options,
+                                    sink));
+      total += join_stats;
+      return total;
+    }
+    // Both sides already in the vector domain: nothing to pipeline —
+    // degrade gracefully to the plain blocked sweep.
+    JoinStats total;
+    const la::Matrix* left = nullptr;
+    const la::Matrix* right = nullptr;
+    std::pair<la::Matrix, la::Matrix> storage;
+    CEJ_RETURN_IF_ERROR(MaterializeVectors(inputs, options.pool, &left,
+                                           &right, &storage, &total));
+    CEJ_ASSIGN_OR_RETURN(JoinStats join_stats,
+                         TensorJoinMatricesToSink(*left, *right, condition,
+                                                  pipe_options, sink));
     total += join_stats;
     return total;
   }
@@ -322,6 +392,7 @@ JoinOperatorRegistry& JoinOperatorRegistry::Global() {
     CEJ_CHECK(r->Register(MakePrefetchNljOperator()).ok());
     CEJ_CHECK(r->Register(MakeTensorJoinOperator()).ok());
     CEJ_CHECK(r->Register(MakeIndexJoinOperator()).ok());
+    CEJ_CHECK(r->Register(MakePipelinedTensorOperator()).ok());
     return r;
   }();
   return *registry;
@@ -376,6 +447,9 @@ std::unique_ptr<const JoinOperator> MakeTensorJoinOperator() {
 }
 std::unique_ptr<const JoinOperator> MakeIndexJoinOperator() {
   return std::make_unique<IndexJoinOperator>();
+}
+std::unique_ptr<const JoinOperator> MakePipelinedTensorOperator() {
+  return std::make_unique<PipelinedTensorOperator>();
 }
 
 }  // namespace cej::join

@@ -11,12 +11,15 @@
 // registering — the planner and the cej::Engine facade pick them up
 // without modification.
 //
-// The four built-ins (registered by default in the global registry):
+// The five built-ins (registered by default in the global registry):
 //
-//   naive_nlj     embeds inside the pair loop  — |R|·|S| model calls
-//   prefetch_nlj  embeds once, then NLJ        — |R|+|S| model calls
-//   tensor        blocked GEMM formulation     — Figure 6/7
-//   index         per-tuple index probes       — Section IV.B
+//   naive_nlj        embeds inside the pair loop  — |R|·|S| model calls
+//   prefetch_nlj     embeds once, then NLJ        — |R|+|S| model calls
+//   tensor           blocked GEMM formulation     — Figure 6/7
+//   index            per-tuple index probes       — Section IV.B
+//   pipelined_tensor tiled right-side embedding overlapped with the
+//                    GEMM sweep — max(embed, sweep) per tile instead of
+//                    their sum (the Section V model-cost bottleneck)
 
 #ifndef CEJ_JOIN_JOIN_OPERATOR_H_
 #define CEJ_JOIN_JOIN_OPERATOR_H_
@@ -67,6 +70,11 @@ struct JoinOperatorTraits {
   bool exact = true;           ///< False: may miss pairs (recall < 1).
   bool supports_threshold = true;
   bool supports_topk = true;
+  /// The operator can consume the right side as raw strings plus a model,
+  /// embedding lazily (tile by tile) instead of requiring a prefetched
+  /// matrix. The planner uses this to leave an Embed pipeline
+  /// un-materialized and hand the operator strings for overlap.
+  bool streams_right_strings = false;
 };
 
 /// A physical implementation of the E-join.
@@ -129,6 +137,7 @@ std::unique_ptr<const JoinOperator> MakeNaiveNljOperator();
 std::unique_ptr<const JoinOperator> MakePrefetchNljOperator();
 std::unique_ptr<const JoinOperator> MakeTensorJoinOperator();
 std::unique_ptr<const JoinOperator> MakeIndexJoinOperator();
+std::unique_ptr<const JoinOperator> MakePipelinedTensorOperator();
 
 }  // namespace cej::join
 

@@ -138,8 +138,8 @@ Result<JoinResult> PrefetchNljJoin(const std::vector<std::string>& left,
   const uint64_t model_calls_before = model.embed_calls();
   WallTimer embed_timer;
   // The logical optimization: embed each tuple exactly once, up front.
-  la::Matrix left_emb = model.EmbedBatch(left);
-  la::Matrix right_emb = model.EmbedBatch(right);
+  la::Matrix left_emb = model.EmbedBatch(left, options.pool);
+  la::Matrix right_emb = model.EmbedBatch(right, options.pool);
   embed_stats.embed_seconds = embed_timer.ElapsedSeconds();
   embed_stats.model_calls = model.embed_calls() - model_calls_before;
   embed_stats.peak_buffer_bytes =

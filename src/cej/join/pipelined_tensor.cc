@@ -1,0 +1,262 @@
+#include "cej/join/pipelined_tensor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "cej/common/thread_pool.h"
+#include "cej/common/timer.h"
+#include "cej/la/gemm.h"
+#include "cej/la/topk.h"
+
+namespace cej::join {
+namespace {
+
+// Auto tile bounds: small enough that a handful of tiles exist to overlap
+// (and that two in-flight tiles stay cheap to hold), large enough that one
+// embed batch amortizes pool scheduling.
+constexpr size_t kMinPipelineTile = 512;
+constexpr size_t kMaxPipelineTile = 8192;
+
+// One embedded pipeline tile covering right rows [begin, begin + rows).
+struct EmbeddedTile {
+  size_t begin = 0;
+  la::Matrix vectors;
+};
+
+// Bounded single-producer/single-consumer handoff. Capacity 2 is double
+// buffering: one tile being swept while the next is being embedded — more
+// depth only grows memory without adding overlap.
+class TileQueue {
+ public:
+  void Push(EmbeddedTile tile) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_.wait(lock, [this] { return tiles_.size() < 2 || aborted_; });
+    if (aborted_) return;
+    tiles_.push_back(std::move(tile));
+    ready_.notify_one();
+  }
+
+  // Blocks for the next tile; false once the producer is done and the
+  // queue has drained.
+  bool Pop(EmbeddedTile* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return !tiles_.empty() || done_; });
+    if (tiles_.empty()) return false;
+    *out = std::move(tiles_.front());
+    tiles_.pop_front();
+    space_.notify_one();
+    return true;
+  }
+
+  void MarkDone() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  // Early termination: unblocks a Push-waiting producer and stops further
+  // tiles from entering. Idempotent.
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+    }
+    space_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_, space_;
+  std::deque<EmbeddedTile> tiles_;
+  bool done_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+size_t ResolvePipelineTileRows(size_t right_rows,
+                               const PipelinedTensorOptions& options) {
+  if (right_rows == 0) return 1;
+  if (options.pipeline_tile_rows != 0) {
+    return std::min(right_rows, options.pipeline_tile_rows);
+  }
+  const size_t target = right_rows / 8 + 1;
+  return std::min(right_rows,
+                  std::clamp(target, kMinPipelineTile, kMaxPipelineTile));
+}
+
+Result<JoinStats> PipelinedTensorJoinToSink(
+    const la::Matrix& left, const std::vector<std::string>& right,
+    const model::EmbeddingModel& model, const JoinCondition& condition,
+    const PipelinedTensorOptions& options, JoinSink* sink) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("pipelined tensor join: model has dim 0");
+  }
+  CEJ_RETURN_IF_ERROR(ValidateJoinDims(left.cols(), model.dim()));
+
+  JoinStats stats;
+  const size_t m = left.rows();
+  const size_t n = right.size();
+  if (m == 0 || n == 0) {
+    sink->Finish();
+    return stats;
+  }
+
+  const size_t tile_rows = ResolvePipelineTileRows(n, options);
+  const size_t num_tiles = (n + tile_rows - 1) / tile_rows;
+  const TileShape inner =
+      ResolveTileShape(m, std::min(n, tile_rows), left.cols(), options);
+  const bool topk = condition.kind == JoinCondition::Kind::kTopK;
+
+  WallTimer total_timer;
+  SinkFeed feed(sink);
+  std::atomic<uint64_t> sims{0};
+
+  // Top-k is a property of the whole right stream: one bounded collector
+  // per left row survives across tiles (a per-tile top-k would be wrong).
+  std::vector<la::TopKCollector> collectors;
+  if (topk) {
+    collectors.reserve(m);
+    for (size_t i = 0; i < m; ++i) collectors.emplace_back(condition.k);
+  }
+
+  // Sweeps one embedded tile against the whole left side, blocked exactly
+  // like the tensor join (L1-resident inner tiles). Workers own contiguous
+  // left-row ranges, so collector access is synchronization-free.
+  auto sweep_tile = [&](const EmbeddedTile& tile) {
+    const la::Matrix& rt = tile.vectors;
+    const size_t tile_n = rt.rows();
+    auto run_rows = [&](size_t row_begin, size_t row_end) {
+      std::vector<float> buffer(inner.rows_left * inner.rows_right);
+      std::vector<JoinPair> local;
+      for (size_t i0 = row_begin; i0 < row_end; i0 += inner.rows_left) {
+        if (feed.stopped()) break;
+        const size_t i1 = std::min(row_end, i0 + inner.rows_left);
+        for (size_t j0 = 0; j0 < tile_n && !feed.stopped();
+             j0 += inner.rows_right) {
+          const size_t j1 = std::min(tile_n, j0 + inner.rows_right);
+          la::GemmTile(left, rt, i0, i1, j0, j1, buffer.data(), options.simd);
+          sims.fetch_add(static_cast<uint64_t>(i1 - i0) * (j1 - j0),
+                         std::memory_order_relaxed);
+          const size_t cols = j1 - j0;
+          if (!topk) {
+            for (size_t i = i0; i < i1 && !feed.stopped(); ++i) {
+              const float* row = buffer.data() + (i - i0) * cols;
+              for (size_t j = 0; j < cols; ++j) {
+                if (row[j] >= condition.threshold) {
+                  local.push_back(
+                      {static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(tile.begin + j0 + j), row[j]});
+                }
+              }
+              feed.MaybeDeliver(&local);
+            }
+          } else {
+            for (size_t i = i0; i < i1; ++i) {
+              const float* row = buffer.data() + (i - i0) * cols;
+              auto& collector = collectors[i];
+              for (size_t j = 0; j < cols; ++j) {
+                collector.Push(row[j],
+                               static_cast<uint64_t>(tile.begin + j0 + j));
+              }
+            }
+          }
+        }
+      }
+      feed.Deliver(&local);
+    };
+    if (options.pool != nullptr && m > inner.rows_left) {
+      options.pool->ParallelForRange(0, m, run_rows, inner.rows_left);
+    } else {
+      run_rows(0, m);
+    }
+  };
+
+  // Producer state: written by the embedder, read by the caller only after
+  // the join() below (which synchronizes).
+  double embed_seconds = 0.0;
+  uint64_t embedded_rows = 0;
+  auto embed_tile = [&](size_t t) {
+    const size_t begin = t * tile_rows;
+    const size_t end_row = std::min(n, begin + tile_rows);
+    WallTimer timer;
+    EmbeddedTile tile{begin, model.EmbedRange(right, begin, end_row,
+                                              options.pool)};
+    embed_seconds += timer.ElapsedSeconds();
+    embedded_rows += end_row - begin;
+    return tile;
+  };
+
+  if (options.pool == nullptr || num_tiles == 1) {
+    // No pool (or nothing to overlap): phase-alternate on the caller. The
+    // memory bound — at most one embedded tile live — still holds.
+    for (size_t t = 0; t < num_tiles && !feed.stopped(); ++t) {
+      const EmbeddedTile tile = embed_tile(t);
+      sweep_tile(tile);
+    }
+  } else {
+    TileQueue queue;
+    std::thread producer([&] {
+      for (size_t t = 0; t < num_tiles; ++t) {
+        if (queue.aborted()) break;
+        queue.Push(embed_tile(t));
+      }
+      queue.MarkDone();
+    });
+    EmbeddedTile tile;
+    while (!feed.stopped() && queue.Pop(&tile)) {
+      sweep_tile(tile);
+    }
+    queue.Abort();
+    producer.join();
+  }
+
+  if (topk && !feed.stopped()) {
+    std::vector<JoinPair> local;
+    for (size_t i = 0; i < m; ++i) {
+      for (const auto& scored : collectors[i].TakeSorted()) {
+        local.push_back({static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(scored.id), scored.score});
+      }
+      feed.MaybeDeliver(&local);
+    }
+    feed.Deliver(&local);
+  }
+
+  const size_t row_chunks = (m + inner.rows_left - 1) / inner.rows_left;
+  const size_t sweep_buffers =
+      options.pool == nullptr
+          ? 1
+          : std::min<size_t>(
+                static_cast<size_t>(options.pool->num_threads()), row_chunks);
+  // Embedded tiles live at once in the pipelined path: one held by the
+  // consumer during its sweep, up to two parked in the queue, one being
+  // embedded by the producer.
+  const size_t live_tiles =
+      options.pool == nullptr || num_tiles == 1
+          ? 1
+          : std::min<size_t>(num_tiles, 4);
+  stats.join_seconds = total_timer.ElapsedSeconds();
+  stats.embed_seconds = embed_seconds;
+  stats.model_calls = embedded_rows;
+  stats.similarity_computations = sims.load(std::memory_order_relaxed);
+  stats.peak_buffer_bytes = live_tiles * tile_rows * left.cols() *
+                                sizeof(float) +
+                            sweep_buffers * inner.buffer_bytes();
+  sink->Finish();
+  return stats;
+}
+
+}  // namespace cej::join

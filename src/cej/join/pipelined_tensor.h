@@ -1,0 +1,55 @@
+// Pipelined tensor join: overlapping model invocation with the similarity
+// sweep (the ROADMAP "async/pipelined operator"; paper Section V observes
+// that model cost, not the sweep, dominates end-to-end join time).
+//
+// The right relation is consumed as *raw strings* in tiles: a dedicated
+// producer thread embeds tile k+1 (in parallel over the pool) while the
+// caller sweeps the already-embedded tile k with the blocked GEMM kernel
+// and streams qualifying pairs into the sink. Per tile the pipeline costs
+// max(embed, sweep) instead of embed + sweep — the phase-ordered operators'
+// cost — and peak memory holds only a bounded number of embedded tiles
+// instead of the full |S| x d matrix.
+//
+// Threshold conditions stream pairs as tiles complete (early termination
+// bites mid-tile and aborts the producer); top-k conditions keep one
+// bounded collector per left row across tiles and emit once the stream
+// ends, since a per-tile top-k would be wrong.
+
+#ifndef CEJ_JOIN_PIPELINED_TENSOR_H_
+#define CEJ_JOIN_PIPELINED_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cej/common/status.h"
+#include "cej/join/join_sink.h"
+#include "cej/join/tensor_join.h"
+#include "cej/model/embedding_model.h"
+
+namespace cej::join {
+
+/// Knobs for the pipelined tensor join. The tensor-join fields control the
+/// inner (L1-resident) blocking of each sweep exactly as in TensorJoin.
+struct PipelinedTensorOptions : TensorJoinOptions {
+  /// Rows of the right relation embedded per pipeline tile (0 = auto:
+  /// sized so several tiles exist to overlap, clamped to [512, 8192]).
+  size_t pipeline_tile_rows = 0;
+};
+
+/// The pipeline tile height used for a right relation of `right_rows`.
+size_t ResolvePipelineTileRows(size_t right_rows,
+                               const PipelinedTensorOptions& options);
+
+/// Joins pre-embedded left vectors against right-side *strings*, embedding
+/// right tiles concurrently with the sweep of the previous tile (see file
+/// comment). Pair right-ids address positions of `right`. Emitted stats:
+/// embed_seconds is wall time spent inside the model and overlaps
+/// join_seconds (the whole pipelined phase) by construction.
+Result<JoinStats> PipelinedTensorJoinToSink(
+    const la::Matrix& left, const std::vector<std::string>& right,
+    const model::EmbeddingModel& model, const JoinCondition& condition,
+    const PipelinedTensorOptions& options, JoinSink* sink);
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_PIPELINED_TENSOR_H_

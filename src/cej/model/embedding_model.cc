@@ -1,12 +1,34 @@
 #include "cej/model/embedding_model.h"
 
-namespace cej::model {
+#include "cej/common/thread_pool.h"
 
-la::Matrix EmbeddingModel::EmbedBatch(
-    const std::vector<std::string>& inputs) const {
-  la::Matrix out(inputs.size(), dim());
-  for (size_t r = 0; r < inputs.size(); ++r) {
-    Embed(inputs[r], out.Row(r));
+namespace cej::model {
+namespace {
+
+// Minimum rows per parallel chunk: below this the scheduling overhead of a
+// pool task rivals the embedding work itself.
+constexpr size_t kMinRowsPerChunk = 8;
+
+}  // namespace
+
+la::Matrix EmbeddingModel::EmbedBatch(const std::vector<std::string>& inputs,
+                                      ThreadPool* pool) const {
+  return EmbedRange(inputs, 0, inputs.size(), pool);
+}
+
+la::Matrix EmbeddingModel::EmbedRange(const std::vector<std::string>& inputs,
+                                      size_t begin, size_t end,
+                                      ThreadPool* pool) const {
+  la::Matrix out(end - begin, dim());
+  auto embed_rows = [this, &inputs, &out, begin](size_t b, size_t e) {
+    for (size_t r = b; r < e; ++r) {
+      Embed(inputs[r], out.Row(r - begin));
+    }
+  };
+  if (pool != nullptr && end - begin > kMinRowsPerChunk) {
+    pool->ParallelForRange(begin, end, embed_rows, kMinRowsPerChunk);
+  } else {
+    embed_rows(begin, end);
   }
   return out;
 }

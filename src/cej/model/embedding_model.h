@@ -19,6 +19,10 @@
 
 #include "cej/la/matrix.h"
 
+namespace cej {
+class ThreadPool;
+}
+
 namespace cej::model {
 
 /// Abstract embedding model mu: string -> unit vector in R^dim.
@@ -44,7 +48,19 @@ class EmbeddingModel {
 
   /// Embeds a batch of strings into a rows x dim matrix (one string per
   /// row). This is the "prefetch" primitive of the E-NLJ optimization.
-  la::Matrix EmbedBatch(const std::vector<std::string>& inputs) const;
+  /// With a pool, rows are embedded in parallel over contiguous chunks
+  /// (EmbedImpl is thread-safe per the interface contract; output rows are
+  /// disjoint); results are identical to the sequential path. Model
+  /// invocation dominates end-to-end join cost (paper Fig. 14), so this is
+  /// the single biggest cold-start lever the operators have.
+  la::Matrix EmbedBatch(const std::vector<std::string>& inputs,
+                        ThreadPool* pool = nullptr) const;
+
+  /// Embeds the sub-range inputs[begin, end) into a fresh
+  /// (end - begin) x dim matrix — the tile primitive pipelined operators
+  /// build on. EmbedBatch is EmbedRange over the whole vector.
+  la::Matrix EmbedRange(const std::vector<std::string>& inputs, size_t begin,
+                        size_t end, ThreadPool* pool = nullptr) const;
 
   /// Number of Embed() invocations since construction or ResetStats().
   uint64_t embed_calls() const {

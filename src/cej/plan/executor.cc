@@ -1,9 +1,11 @@
 #include "cej/plan/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <optional>
 
+#include "cej/api/embedding_cache.h"
 #include "cej/common/macros.h"
 
 namespace cej::plan {
@@ -127,19 +129,93 @@ class PlanExecutor {
     Relation right;
   };
 
-  Result<Relation> RunEmbed(const NodePtr& node) {
-    CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+  // Embeds `input`'s embed-input column per `embed`, serving from — and
+  // populating — the engine embedding cache when `base_table` names the
+  // base table the rows came from. `base_rows` are the base-table row ids
+  // behind `input`'s rows (nullptr = `input` IS the full base table; only
+  // full-table embeddings are cached, but filtered pipelines gather their
+  // survivors out of a cached full-table matrix on a hit).
+  Result<Relation> ApplyEmbed(const Relation& input, const LogicalNode& embed,
+                              const std::string& base_table,
+                              const std::vector<uint32_t>* base_rows) {
     CEJ_ASSIGN_OR_RETURN(const Column* col,
-                         input.ColumnByName(node->input_column));
+                         input.ColumnByName(embed.input_column));
     if (col->type() != DataType::kString) {
-      return Status::InvalidArgument("Embed: column '" + node->input_column +
+      return Status::InvalidArgument("Embed: column '" + embed.input_column +
                                      "' is not a string column");
     }
-    la::Matrix embedded = node->model->EmbedBatch(col->string_values());
-    if (stats_ != nullptr) stats_->model_calls += embedded.rows();
+    // Shared straight into the result column: a full-table cache hit is
+    // zero-copy, and a miss shares the freshly embedded matrix between
+    // the cache and the column without cloning either way.
+    std::shared_ptr<const la::Matrix> embedded;
+    EmbeddingCache* cache = context_.embedding_cache;
+    const bool cacheable = cache != nullptr && !base_table.empty();
+    if (cacheable) {
+      std::shared_ptr<const la::Matrix> hit =
+          cache->Get(base_table, embed.input_column, embed.model);
+      if (hit != nullptr && hit->cols() == embed.model->dim()) {
+        if (base_rows == nullptr) {
+          if (hit->rows() == input.num_rows()) embedded = hit;
+        } else {
+          la::Matrix gathered(base_rows->size(), hit->cols());
+          bool ok = true;
+          for (size_t i = 0; i < base_rows->size(); ++i) {
+            const uint32_t r = (*base_rows)[i];
+            if (r >= hit->rows()) {
+              ok = false;
+              break;
+            }
+            std::memcpy(gathered.Row(i), hit->Row(r),
+                        hit->cols() * sizeof(float));
+          }
+          if (ok) {
+            embedded =
+                std::make_shared<const la::Matrix>(std::move(gathered));
+          }
+        }
+      }
+      if (stats_ != nullptr) {
+        if (embedded != nullptr) {
+          ++stats_->embedding_cache_hits;
+        } else {
+          ++stats_->embedding_cache_misses;
+        }
+      }
+    }
+    if (embedded == nullptr) {
+      la::Matrix fresh =
+          embed.model->EmbedBatch(col->string_values(), context_.pool);
+      if (stats_ != nullptr) stats_->model_calls += fresh.rows();
+      embedded = std::make_shared<const la::Matrix>(std::move(fresh));
+      if (cacheable && base_rows == nullptr) {
+        cache->Put(base_table, embed.input_column, embed.model, embedded);
+      }
+    }
     return input.WithColumn(
-        Field{node->output_column, DataType::kVector, node->model->dim()},
+        Field{embed.output_column, DataType::kVector, embed.model->dim()},
         Column::Vector(std::move(embedded)));
+  }
+
+  Result<Relation> RunEmbed(const NodePtr& node) {
+    const LogicalNode* below = node->child.get();
+    // Full base table: the cacheable shape.
+    if (below->kind == NodeKind::kScan) {
+      return ApplyEmbed(*below->relation, *node, below->table_name, nullptr);
+    }
+    // Filtered base table: evaluate the predicate once, then embed only
+    // the survivors (or gather them from a cached full-table matrix).
+    if (below->kind == NodeKind::kSelect &&
+        below->child->kind == NodeKind::kScan) {
+      const LogicalNode* scan = below->child.get();
+      CEJ_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> rows,
+          expr::Filter(*scan->relation, below->predicate));
+      const Relation filtered = scan->relation->Take(rows);
+      return ApplyEmbed(filtered, *node, scan->table_name, &rows);
+    }
+    // Arbitrary subtree: embed whatever it produced, uncached.
+    CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+    return ApplyEmbed(input, *node, "", nullptr);
   }
 
   Result<Relation> RunEJoin(const NodePtr& node) {
@@ -232,10 +308,28 @@ class PlanExecutor {
       if (it != context_.indexes.end()) idx = it->second;
     }
 
+    // String-stream fusion candidacy: on streaming execution a right-side
+    // Embed pipeline producing the join key can stay un-materialized — a
+    // streams_right_strings operator then embeds tiles itself, overlapped
+    // with its sweep, instead of the executor embedding everything first.
+    // Overlap needs workers: without a pool the pipelined operator
+    // phase-alternates and its max(embed, sweep) quote would underbid its
+    // real embed + sweep cost, so fusion is offered only with a pool.
+    const bool fusion_candidate =
+        !materialize_sides && context_.pool != nullptr && pattern.matches &&
+        pattern.embed != nullptr &&
+        pattern.embed->output_column == node->right_key &&
+        pattern.embed->model != nullptr && pattern.embed->model->dim() > 0;
+
     index::FilterBitmap bitmap;
     double right_selectivity = 1.0;
     size_t base_rows = 0;
     std::optional<Relation> right_prematerialized;
+    // Base-table row ids surviving the pushed-down Select, evaluated at
+    // most ONCE and reused by whichever path runs (probe bitmap, fused
+    // string stream, or scan-side materialization) — the seed-era double
+    // predicate evaluation is gone.
+    std::optional<std::vector<uint32_t>> selected_rows;
     if (pattern.matches) {
       const Relation& base = *pattern.scan->relation;
       base_rows = base.num_rows();
@@ -247,22 +341,26 @@ class PlanExecutor {
         }
         bitmap.assign(base_rows, 1);
       }
-      // The predicate is evaluated here only when an index makes the
-      // probe path possible: selectivity then steers scan-vs-probe and
-      // the bitmap pre-filters probes. Without an index it would scale
-      // every eligible (scan-family) operator identically, so skip the
-      // eval — Run(node->right) applies the Select once, downstream.
-      if (pattern.select != nullptr && idx != nullptr) {
+      // The predicate is evaluated up front only when some consumer needs
+      // the row set before materialization: probe pre-filtering (bitmap +
+      // selectivity steering scan-vs-probe) or string-stream fusion.
+      // Otherwise it would scale every eligible (scan-family) operator
+      // identically, so the Select is applied once, downstream.
+      if (pattern.select != nullptr &&
+          (idx != nullptr || fusion_candidate)) {
         CEJ_RETURN_IF_ERROR(
             pattern.select->predicate->Validate(base.schema()));
         std::vector<uint32_t> rows;
         pattern.select->predicate->Eval(base, &rows);
-        std::fill(bitmap.begin(), bitmap.end(), 0);
-        for (uint32_t r : rows) bitmap[r] = 1;
+        if (idx != nullptr) {
+          std::fill(bitmap.begin(), bitmap.end(), 0);
+          for (uint32_t r : rows) bitmap[r] = 1;
+        }
         right_selectivity = base_rows == 0
                                 ? 0.0
                                 : static_cast<double>(rows.size()) /
                                       static_cast<double>(base_rows);
+        selected_rows = std::move(rows);
       }
     } else {
       // Arbitrary right subtree: no probe possibility; materialize it now
@@ -279,6 +377,7 @@ class PlanExecutor {
     workload.right_selectivity = right_selectivity;
     workload.condition = node->condition;
     workload.index_available = idx != nullptr;
+    workload.right_strings_streamable = fusion_candidate;
 
     CEJ_ASSIGN_OR_RETURN(const JoinOperator* op,
                          SelectOperator(workload, idx != nullptr));
@@ -306,9 +405,49 @@ class PlanExecutor {
       return run_stats;
     }
 
+    // Fused path: hand the operator the (filtered) join-key strings and
+    // the model; it embeds tiles itself, overlapped with the sweep. Pair
+    // right-ids address the same filtered positions the scan path emits.
+    // Only the key column is gathered — the whole point of this path is
+    // not materializing the rest.
+    if (fusion_candidate && op->Traits().streams_right_strings) {
+      CEJ_ASSIGN_OR_RETURN(
+          const Column* base_col,
+          pattern.scan->relation->ColumnByName(pattern.embed->input_column));
+      if (base_col->type() != DataType::kString) {
+        return Status::InvalidArgument("Embed: column '" +
+                                       pattern.embed->input_column +
+                                       "' is not a string column");
+      }
+      std::optional<Column> gathered;
+      if (selected_rows.has_value()) {
+        gathered.emplace(base_col->Gather(*selected_rows));
+      }
+      JoinInputs inputs;
+      inputs.left_vectors = &left_key.vector_values();
+      inputs.right_strings = gathered.has_value()
+                                 ? &gathered->string_values()
+                                 : &base_col->string_values();
+      inputs.model = pattern.embed->model;
+      return op->Run(inputs, node->condition, BaseOptions(), sink);
+    }
+
     Relation right;
     if (right_prematerialized.has_value()) {
       right = std::move(*right_prematerialized);
+    } else if (pattern.matches && selected_rows.has_value()) {
+      // The pushed-down predicate was already evaluated for the bitmap /
+      // fusion decision: feed that row set straight into the scan-side
+      // materialization instead of letting Run(node->right) re-evaluate it.
+      const Relation filtered =
+          pattern.scan->relation->Take(*selected_rows);
+      if (pattern.embed != nullptr) {
+        CEJ_ASSIGN_OR_RETURN(
+            right, ApplyEmbed(filtered, *pattern.embed,
+                              pattern.scan->table_name, &*selected_rows));
+      } else {
+        right = filtered;
+      }
     } else {
       CEJ_ASSIGN_OR_RETURN(right, Run(node->right));
     }
@@ -385,22 +524,14 @@ class PlanExecutor {
 
   // Materializes the probe path's right side: the base relation, plus the
   // Embed output column for rewritten plans (no Select: probe ids are
-  // base-table positions). The embedding column already lives in the
-  // index's table; recomputing it here keeps the executor simple at the
-  // cost of |S| model calls, acceptable because probe plans are chosen for
-  // small result materializations.
+  // base-table positions). The recomputation this used to cost |S| model
+  // calls per query is now absorbed by the embedding cache when one is
+  // configured.
   Result<Relation> RightBaseRelation(const ProbePattern& pattern) {
     const Relation& base = *pattern.scan->relation;
     if (pattern.embed == nullptr) return base;
-    CEJ_ASSIGN_OR_RETURN(const Column* col,
-                         base.ColumnByName(pattern.embed->input_column));
-    la::Matrix embedded =
-        pattern.embed->model->EmbedBatch(col->string_values());
-    if (stats_ != nullptr) stats_->model_calls += embedded.rows();
-    return base.WithColumn(
-        Field{pattern.embed->output_column, DataType::kVector,
-              pattern.embed->model->dim()},
-        Column::Vector(std::move(embedded)));
+    return ApplyEmbed(base, *pattern.embed, pattern.scan->table_name,
+                      nullptr);
   }
 
   join::JoinOptions BaseOptions() const {

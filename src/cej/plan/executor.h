@@ -31,6 +31,10 @@
 #include "cej/plan/cost_model.h"
 #include "cej/plan/logical_plan.h"
 
+namespace cej {
+class EmbeddingCache;
+}
+
 namespace cej::plan {
 
 /// Execution environment.
@@ -44,6 +48,11 @@ struct ExecContext {
   std::unordered_map<std::string, const index::VectorIndex*> indexes;
   /// Physical operators to select from; nullptr = the global registry.
   const join::JoinOperatorRegistry* operators = nullptr;
+  /// Engine-owned cache of full-column embeddings keyed by
+  /// (table, column, model); nullptr = no caching. Embed nodes over a base
+  /// table serve from (and populate) it; filtered Embed pipelines gather
+  /// surviving rows out of a cached full-table matrix on a hit.
+  EmbeddingCache* embedding_cache = nullptr;
   /// Forces the named registered operator for every EJoin ("" = cost
   /// based). Takes precedence over force_scan / force_probe.
   std::string force_operator;
@@ -66,6 +75,11 @@ struct ExecStats {
   double scan_cost_estimate = 0.0;
   double probe_cost_estimate = 0.0;
   uint64_t model_calls = 0;
+  /// Embedding-cache lookups made while executing this plan (counted only
+  /// when an EmbeddingCache is configured). A hit means a whole-column
+  /// embedding was served with zero model calls.
+  uint64_t embedding_cache_hits = 0;
+  uint64_t embedding_cache_misses = 0;
   /// Merged operator counters across every join in the plan.
   join::JoinStats join_stats;
 };

@@ -29,6 +29,11 @@ Column Column::Date(std::vector<int32_t> values) {
 }
 
 Column Column::Vector(la::Matrix values) {
+  return Vector(std::make_shared<const la::Matrix>(std::move(values)));
+}
+
+Column Column::Vector(std::shared_ptr<const la::Matrix> values) {
+  CEJ_CHECK(values != nullptr);
   Column c(DataType::kVector);
   c.matrix_ = std::move(values);
   return c;
@@ -45,13 +50,13 @@ size_t Column::size() const {
     case DataType::kDate:
       return date_.size();
     case DataType::kVector:
-      return matrix_.rows();
+      return matrix_->rows();
   }
   return 0;
 }
 
 size_t Column::vector_dim() const {
-  return type_ == DataType::kVector ? matrix_.cols() : 0;
+  return type_ == DataType::kVector ? matrix_->cols() : 0;
 }
 
 Column Column::Gather(const std::vector<uint32_t>& rows) const {
@@ -81,11 +86,11 @@ Column Column::Gather(const std::vector<uint32_t>& rows) const {
       return Date(std::move(out));
     }
     case DataType::kVector: {
-      la::Matrix out(rows.size(), matrix_.cols());
+      la::Matrix out(rows.size(), matrix_->cols());
       for (size_t i = 0; i < rows.size(); ++i) {
-        CEJ_CHECK(rows[i] < matrix_.rows());
-        std::memcpy(out.Row(i), matrix_.Row(rows[i]),
-                    matrix_.cols() * sizeof(float));
+        CEJ_CHECK(rows[i] < matrix_->rows());
+        std::memcpy(out.Row(i), matrix_->Row(rows[i]),
+                    matrix_->cols() * sizeof(float));
       }
       return Vector(std::move(out));
     }

@@ -4,6 +4,7 @@
 #define CEJ_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@ class Column {
   static Column Date(std::vector<int32_t> values);
   /// Takes ownership of a rows x dim embedding matrix (one row per tuple).
   static Column Vector(la::Matrix values);
+  /// Shares an already-owned embedding matrix (no copy) — the embedding
+  /// cache hands its matrices straight into result columns this way.
+  static Column Vector(std::shared_ptr<const la::Matrix> values);
 
   Column(Column&&) noexcept = default;
   Column& operator=(Column&&) noexcept = default;
@@ -54,13 +58,13 @@ class Column {
   }
   const la::Matrix& vector_values() const {
     CEJ_CHECK(type_ == DataType::kVector);
-    return matrix_;
+    return *matrix_;
   }
 
   /// Pointer to row `r` of a vector column.
   const float* VectorAt(size_t r) const {
     CEJ_CHECK(type_ == DataType::kVector);
-    return matrix_.Row(r);
+    return matrix_->Row(r);
   }
 
   /// Materializes a new column containing rows[i] for each i (gather).
@@ -74,7 +78,9 @@ class Column {
   std::vector<double> double_;
   std::vector<std::string> string_;
   std::vector<int32_t> date_;
-  la::Matrix matrix_;
+  // Non-null iff type_ == kVector; shared so cached embeddings flow into
+  // result columns without a copy.
+  std::shared_ptr<const la::Matrix> matrix_;
 };
 
 }  // namespace cej::storage

@@ -98,6 +98,30 @@ TEST(EngineCatalogTest, IndexRequiresRegisteredTable) {
             StatusCode::kAlreadyExists);
 }
 
+TEST(EngineCatalogTest, ReplaceTableDropsDerivedIndexes) {
+  // A registered index covers the OLD contents; after ReplaceTable it must
+  // be gone rather than silently probed against the new table.
+  Engine engine;
+  la::Matrix vecs = workload::RandomUnitVectors(8, 8, 5);
+  index::FlatIndex flat(vecs.Clone());
+  ASSERT_TRUE(engine.RegisterTable("t", VectorTable(vecs.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterIndex("t", "emb", &flat).ok());
+  ASSERT_TRUE(
+      engine.RegisterTable("q", VectorTable(workload::RandomUnitVectors(
+                                    2, 8, 6))).ok());
+  ASSERT_TRUE(
+      engine
+          .ReplaceTable("t", VectorTable(workload::RandomUnitVectors(8, 8, 7)))
+          .ok());
+  auto probe = engine.Query("q")
+                   .EJoin("t", "emb", join::JoinCondition::TopK(1))
+                   .Via("index")
+                   .Execute();
+  EXPECT_EQ(probe.status().code(), StatusCode::kInvalidArgument);
+  // And the index can be re-registered for the new contents.
+  EXPECT_TRUE(engine.RegisterIndex("t", "emb", &flat).ok());
+}
+
 TEST(EngineQueryTest, UnknownTableSurfacesAtBuildTime) {
   Engine engine;
   auto result = engine.Query("nope").Execute();
@@ -238,6 +262,41 @@ TEST_F(EngineCrossValidationTest, ApproximateIndexIsRecallChecked) {
   for (const auto& p : found) hits += truth.count(p);
   EXPECT_GE(static_cast<double>(hits) / truth.size(), 0.9)
       << "HNSW probe recall degraded";
+}
+
+TEST_F(EngineCrossValidationTest, PipelinedTensorMatchesTensorThroughEngine) {
+  // The fifth operator, through both execution surfaces. Via Execute the
+  // plan's right side is materialized, so pipelined degrades to the plain
+  // sweep; via Stream the fused string path runs — both must reproduce the
+  // tensor relation exactly.
+  const auto condition = join::JoinCondition::TopK(3);
+  auto tensor = engine_.Query("l")
+                    .EJoin("r", "word", condition)
+                    .Via("tensor")
+                    .Execute();
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  auto pipelined = engine_.Query("l")
+                       .EJoin("r", "word", condition)
+                       .Via("pipelined_tensor")
+                       .Execute();
+  ASSERT_TRUE(pipelined.ok()) << pipelined.status().ToString();
+  EXPECT_EQ(pipelined->stats.join_operator, "pipelined_tensor");
+  EXPECT_EQ(RenderPairs(pipelined->relation), RenderPairs(tensor->relation));
+
+  join::MaterializingSink tensor_sink, pipelined_sink;
+  ASSERT_TRUE(engine_.Query("l")
+                  .EJoin("r", "word", condition)
+                  .Via("tensor")
+                  .Stream(&tensor_sink)
+                  .ok());
+  plan::ExecStats stream_stats;
+  auto stats = engine_.Query("l")
+                   .EJoin("r", "word", condition)
+                   .Via("pipelined_tensor")
+                   .Stream(&pipelined_sink, &stream_stats);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stream_stats.join_operator, "pipelined_tensor");
+  EXPECT_EQ(pipelined_sink.pairs(), tensor_sink.pairs());
 }
 
 TEST_F(EngineCrossValidationTest, OptimizerCutsModelCallsQuadraticToLinear) {
@@ -402,6 +461,182 @@ TEST(EngineStreamTest, StreamRequiresAJoinRoot) {
                    .Select(expr::Cmp("when", expr::CmpOp::kLt, int64_t{50}))
                    .Stream(&sink);
   EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Embedding cache
+// ---------------------------------------------------------------------------
+
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_words_ = workload::RandomStrings(20, 4, 8, 81);
+    right_words_ = workload::RandomStrings(50, 4, 8, 82);
+    right_words_.insert(right_words_.end(), left_words_.begin(),
+                        left_words_.end());
+    ASSERT_TRUE(
+        engine_.RegisterTable("l", WordsTable(left_words_, 83)).ok());
+    ASSERT_TRUE(
+        engine_.RegisterTable("r", WordsTable(right_words_, 84)).ok());
+    ASSERT_TRUE(engine_.RegisterModel("subword", &model_).ok());
+  }
+
+  Result<QueryResult> RunJoin() {
+    return engine_.Query("l")
+        .EJoin("r", "word", join::JoinCondition::Threshold(0.5f))
+        .Execute();
+  }
+
+  model::SubwordHashModel model_;
+  std::vector<std::string> left_words_, right_words_;
+  Engine engine_;  // Default options: embedding cache enabled.
+};
+
+TEST_F(EngineCacheTest, WarmCacheSkipsModelCallsEntirely) {
+  const uint64_t m = left_words_.size(), n = right_words_.size();
+  auto cold = RunJoin();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->stats.model_calls, m + n);
+  EXPECT_EQ(cold->stats.embedding_cache_hits, 0u);
+  EXPECT_EQ(cold->stats.embedding_cache_misses, 2u);
+
+  // Second identical query: both column embeddings are served from the
+  // cache — the model is never invoked (checked on the model itself, not
+  // just the stats plumbing).
+  const uint64_t calls_before = model_.embed_calls();
+  auto warm = RunJoin();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(model_.embed_calls(), calls_before);
+  EXPECT_EQ(warm->stats.model_calls, 0u);
+  EXPECT_EQ(warm->stats.embedding_cache_hits, 2u);
+  EXPECT_EQ(RenderPairs(warm->relation), RenderPairs(cold->relation));
+
+  const EmbeddingCache::Stats cache_stats =
+      engine_.embedding_cache()->stats();
+  EXPECT_EQ(cache_stats.entries, 2u);
+  EXPECT_GE(cache_stats.hits, 2u);
+}
+
+TEST_F(EngineCacheTest, ReplaceTableInvalidatesItsEntries) {
+  ASSERT_TRUE(RunJoin().ok());  // Warm both columns.
+  auto new_words = workload::RandomStrings(30, 4, 8, 85);
+  new_words.insert(new_words.end(), left_words_.begin(), left_words_.end());
+  ASSERT_TRUE(engine_.ReplaceTable("r", WordsTable(new_words, 86)).ok());
+
+  // The right column must be re-embedded against the new contents; the
+  // untouched left table stays cached.
+  auto result = RunJoin();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.model_calls, new_words.size());
+  EXPECT_EQ(result->stats.embedding_cache_hits, 1u);
+  EXPECT_EQ(result->stats.embedding_cache_misses, 1u);
+}
+
+TEST_F(EngineCacheTest, FilteredQueriesGatherFromTheCachedFullTable) {
+  ASSERT_TRUE(RunJoin().ok());  // Warm both columns.
+  const uint64_t calls_before = model_.embed_calls();
+  auto filtered =
+      engine_.Query("l")
+          .Select(expr::Cmp("when", expr::CmpOp::kLt, int64_t{50}))
+          .EJoin("r", "word", join::JoinCondition::Threshold(0.5f))
+          .Execute();
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  // The pushed-down Select survives below the Embed; the surviving rows
+  // gather out of the cached full-table matrix with zero model calls.
+  EXPECT_EQ(model_.embed_calls(), calls_before);
+  EXPECT_EQ(filtered->stats.model_calls, 0u);
+  EXPECT_EQ(filtered->stats.embedding_cache_hits, 2u);
+}
+
+TEST_F(EngineCacheTest, DisabledCacheKeepsSeedBehaviour) {
+  Engine::Options options;
+  options.embedding_cache_bytes = 0;
+  Engine uncached(options);
+  ASSERT_TRUE(
+      uncached.RegisterTable("l", WordsTable(left_words_, 83)).ok());
+  ASSERT_TRUE(
+      uncached.RegisterTable("r", WordsTable(right_words_, 84)).ok());
+  ASSERT_TRUE(uncached.RegisterModel("subword", &model_).ok());
+  EXPECT_EQ(uncached.embedding_cache(), nullptr);
+  for (int run = 0; run < 2; ++run) {
+    auto result = uncached.Query("l")
+                      .EJoin("r", "word", join::JoinCondition::Threshold(0.5f))
+                      .Execute();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->stats.model_calls,
+              left_words_.size() + right_words_.size());
+    EXPECT_EQ(result->stats.embedding_cache_hits, 0u);
+    EXPECT_EQ(result->stats.embedding_cache_misses, 0u);
+  }
+}
+
+TEST(EmbeddingCacheTest, LruEvictionRespectsTheByteBudget) {
+  model::SubwordHashModel model;
+  EmbeddingCache::Options options;
+  options.max_bytes = 2 * 4 * 4 * sizeof(float);  // Exactly two 4x4 entries.
+  EmbeddingCache cache(options);
+  cache.Put("t1", "c", &model, workload::RandomUnitVectors(4, 4, 1));
+  cache.Put("t2", "c", &model, workload::RandomUnitVectors(4, 4, 2));
+  ASSERT_NE(cache.Get("t1", "c", &model), nullptr);  // Refresh t1's recency.
+  cache.Put("t3", "c", &model, workload::RandomUnitVectors(4, 4, 3));
+
+  EXPECT_EQ(cache.Get("t2", "c", &model), nullptr);  // LRU victim.
+  EXPECT_NE(cache.Get("t1", "c", &model), nullptr);
+  EXPECT_NE(cache.Get("t3", "c", &model), nullptr);
+  const EmbeddingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+
+  // An entry bigger than the whole budget is refused outright.
+  cache.Put("huge", "c", &model, workload::RandomUnitVectors(64, 64, 4));
+  EXPECT_EQ(cache.Get("huge", "c", &model), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operator selection
+// ---------------------------------------------------------------------------
+
+TEST(EngineStreamTest, StreamingStringJoinPicksThePipelinedOperator) {
+  // On the streaming surface the right Embed pipeline stays
+  // un-materialized, so the cost scan sees a string-streamable right side
+  // and max(embed, sweep) wins over embed + sweep unforced. The overlap
+  // needs workers: fusion is only offered when the engine has a pool.
+  Engine::Options options;
+  options.num_threads = 2;
+  Engine engine(options);
+  model::SubwordHashModel model;
+  auto left_words = workload::RandomStrings(15, 4, 8, 91);
+  auto right_words = workload::RandomStrings(60, 4, 8, 92);
+  ASSERT_TRUE(engine.RegisterTable("l", WordsTable(left_words, 93)).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", WordsTable(right_words, 94)).ok());
+  ASSERT_TRUE(engine.RegisterModel("subword", &model).ok());
+
+  join::CountingSink sink;
+  plan::ExecStats stats;
+  auto run = engine.Query("l")
+                 .EJoin("r", "word", join::JoinCondition::TopK(2))
+                 .Stream(&sink, &stats);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(stats.join_operator, "pipelined_tensor");
+  EXPECT_EQ(sink.count(), left_words.size() * 2u);
+  // The fused right side embeds inside the operator: |R| + |S| calls total.
+  EXPECT_EQ(stats.model_calls, left_words.size() + right_words.size());
+
+  // Without a pool there is no overlap to price: the cost scan must fall
+  // back to a phase-ordered operator on the identical query.
+  Engine poolless;
+  ASSERT_TRUE(poolless.RegisterTable("l", WordsTable(left_words, 93)).ok());
+  ASSERT_TRUE(poolless.RegisterTable("r", WordsTable(right_words, 94)).ok());
+  ASSERT_TRUE(poolless.RegisterModel("subword", &model).ok());
+  join::CountingSink poolless_sink;
+  plan::ExecStats poolless_stats;
+  ASSERT_TRUE(poolless.Query("l")
+                  .EJoin("r", "word", join::JoinCondition::TopK(2))
+                  .Stream(&poolless_sink, &poolless_stats)
+                  .ok());
+  EXPECT_EQ(poolless_stats.join_operator, "tensor");
+  EXPECT_EQ(poolless_sink.count(), sink.count());
 }
 
 // ---------------------------------------------------------------------------

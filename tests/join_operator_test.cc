@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "cej/common/thread_pool.h"
 #include "cej/index/flat_index.h"
 #include "cej/join/join_operator.h"
 #include "cej/join/join_sink.h"
+#include "cej/join/pipelined_tensor.h"
 #include "cej/join/tensor_join.h"
 #include "cej/model/subword_hash_model.h"
 #include "cej/workload/generators.h"
@@ -96,14 +98,15 @@ TEST(ValidationTest, ZeroKTopKRejectedEverywhere) {
 // Registry
 // ---------------------------------------------------------------------------
 
-TEST(RegistryTest, GlobalHoldsTheFourBuiltins) {
+TEST(RegistryTest, GlobalHoldsTheFiveBuiltins) {
   auto& registry = JoinOperatorRegistry::Global();
-  for (const char* name : {"naive_nlj", "prefetch_nlj", "tensor", "index"}) {
+  for (const char* name : {"naive_nlj", "prefetch_nlj", "tensor", "index",
+                           "pipelined_tensor"}) {
     auto op = registry.Find(name);
     ASSERT_TRUE(op.ok()) << name;
     EXPECT_EQ((*op)->Name(), name);
   }
-  EXPECT_GE(registry.operators().size(), 4u);
+  EXPECT_GE(registry.operators().size(), 5u);
 }
 
 TEST(RegistryTest, UnknownNameListsRegisteredOperators) {
@@ -127,6 +130,9 @@ TEST(RegistryTest, TraitsDescribeTheBuiltins) {
   EXPECT_TRUE((*registry.Find("tensor"))->Traits().needs_vectors);
   EXPECT_TRUE((*registry.Find("index"))->Traits().needs_index);
   EXPECT_FALSE((*registry.Find("index"))->Traits().exact);
+  EXPECT_TRUE(
+      (*registry.Find("pipelined_tensor"))->Traits().streams_right_strings);
+  EXPECT_TRUE((*registry.Find("pipelined_tensor"))->Traits().exact);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +152,28 @@ TEST(PricingTest, OperatorOrderingMatchesThePaper) {
   const double tensor = (*registry.Find("tensor"))->EstimateCost(w, p);
   EXPECT_LT(tensor, prefetch);
   EXPECT_LT(prefetch, naive);
+}
+
+TEST(PricingTest, PipelinedPricesBelowTensorOnlyWhenStreamable) {
+  auto& registry = JoinOperatorRegistry::Global();
+  JoinWorkload w;
+  w.left_rows = 1000;
+  w.right_rows = 100000;
+  w.condition = JoinCondition::Threshold(0.9f);
+  CostParams p;
+  // Without a string-streamable right side there is nothing to overlap:
+  // the operator must stay out of the cost scan.
+  w.right_strings_streamable = false;
+  EXPECT_TRUE(std::isinf(
+      (*registry.Find("pipelined_tensor"))->EstimateCost(w, p)));
+  // With one, max(embed, sweep) per tile undercuts the phase-ordered
+  // embed + sweep of the tensor operator.
+  w.right_strings_streamable = true;
+  const double pipelined =
+      (*registry.Find("pipelined_tensor"))->EstimateCost(w, p);
+  const double tensor = (*registry.Find("tensor"))->EstimateCost(w, p);
+  EXPECT_TRUE(std::isfinite(pipelined));
+  EXPECT_LT(pipelined, tensor);
 }
 
 TEST(PricingTest, IndexOperatorIsInfiniteWithoutAnIndex) {
@@ -285,12 +313,139 @@ TEST_F(OperatorRunTest, MissingInputsAreRejected) {
   auto& registry = JoinOperatorRegistry::Global();
   JoinInputs empty;
   MaterializingSink sink;
-  for (const char* name : {"naive_nlj", "prefetch_nlj", "tensor", "index"}) {
+  for (const char* name : {"naive_nlj", "prefetch_nlj", "tensor", "index",
+                           "pipelined_tensor"}) {
     auto result = (*registry.Find(name))
                       ->Run(empty, JoinCondition::Threshold(0.5f), {}, &sink);
     EXPECT_FALSE(result.ok()) << name;
     EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << name;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined tensor join
+// ---------------------------------------------------------------------------
+
+class PipelinedTensorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_words_ = workload::RandomStrings(40, 4, 10, 71);
+    right_words_ = workload::RandomStrings(700, 4, 10, 72);
+    // Plant the left words into the right relation so threshold joins are
+    // guaranteed non-empty (identical strings embed identically).
+    right_words_.insert(right_words_.end(), left_words_.begin(),
+                        left_words_.end());
+    left_emb_ = model_.EmbedBatch(left_words_);
+  }
+  model::SubwordHashModel model_;
+  std::vector<std::string> left_words_, right_words_;
+  la::Matrix left_emb_;
+};
+
+TEST_F(PipelinedTensorTest, MatchesTensorAcrossTilesAndConditions) {
+  // The overlap must be invisible in the result: a multi-tile pipelined
+  // run over raw right strings reproduces the plain tensor sweep over the
+  // prefetched matrix byte for byte, for threshold and top-k alike.
+  ThreadPool pool(4);
+  la::Matrix right_emb = model_.EmbedBatch(right_words_);
+  for (const JoinCondition& condition :
+       {JoinCondition::Threshold(0.4f), JoinCondition::TopK(3)}) {
+    TensorJoinOptions tensor_options;
+    tensor_options.simd = la::SimdMode::kForceScalar;
+    auto reference =
+        TensorJoinMatrices(left_emb_, right_emb, condition, tensor_options);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_GT(reference->pairs.size(), 0u);
+
+    PipelinedTensorOptions options;
+    options.simd = la::SimdMode::kForceScalar;
+    options.pool = &pool;
+    options.pipeline_tile_rows = 128;  // Many tiles: real overlap.
+    MaterializingSink sink;
+    auto stats = PipelinedTensorJoinToSink(left_emb_, right_words_, model_,
+                                           condition, options, &sink);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->model_calls, right_words_.size());
+    EXPECT_EQ(stats->similarity_computations,
+              left_emb_.rows() * right_words_.size());
+    ASSERT_EQ(sink.pairs().size(), reference->pairs.size());
+    for (size_t i = 0; i < sink.pairs().size(); ++i) {
+      EXPECT_EQ(sink.pairs()[i], reference->pairs[i]) << i;
+    }
+  }
+}
+
+TEST_F(PipelinedTensorTest, OperatorAcceptsStringsAndVectorsAlike) {
+  auto& registry = JoinOperatorRegistry::Global();
+  const JoinOperator* pipelined = *registry.Find("pipelined_tensor");
+  const JoinOperator* tensor = *registry.Find("tensor");
+  const JoinCondition condition = JoinCondition::TopK(2);
+  JoinOptions options;
+  options.simd = la::SimdMode::kForceScalar;
+
+  // Context domain on the right: the pipelined path proper.
+  JoinInputs string_inputs;
+  string_inputs.left_vectors = &left_emb_;
+  string_inputs.right_strings = &right_words_;
+  string_inputs.model = &model_;
+  MaterializingSink string_sink;
+  auto string_stats =
+      pipelined->Run(string_inputs, condition, options, &string_sink);
+  ASSERT_TRUE(string_stats.ok()) << string_stats.status().ToString();
+  EXPECT_EQ(string_stats->model_calls, right_words_.size());
+
+  // Vector domain on both sides: degrades to the plain blocked sweep.
+  la::Matrix right_emb = model_.EmbedBatch(right_words_);
+  JoinInputs vector_inputs;
+  vector_inputs.left_vectors = &left_emb_;
+  vector_inputs.right_vectors = &right_emb;
+  MaterializingSink vector_sink;
+  ASSERT_TRUE(
+      pipelined->Run(vector_inputs, condition, options, &vector_sink).ok());
+
+  MaterializingSink tensor_sink;
+  ASSERT_TRUE(
+      tensor->Run(vector_inputs, condition, options, &tensor_sink).ok());
+  EXPECT_EQ(string_sink.pairs(), tensor_sink.pairs());
+  EXPECT_EQ(vector_sink.pairs(), tensor_sink.pairs());
+
+  // Both representations supplied: the supplied matrix wins — the right
+  // side is never re-embedded (the MaterializeVectors contract).
+  JoinInputs both_inputs = vector_inputs;
+  both_inputs.right_strings = &right_words_;
+  both_inputs.model = &model_;
+  const uint64_t calls_before = model_.embed_calls();
+  MaterializingSink both_sink;
+  auto both_stats = pipelined->Run(both_inputs, condition, options,
+                                   &both_sink);
+  ASSERT_TRUE(both_stats.ok());
+  EXPECT_EQ(both_stats->model_calls, 0u);
+  EXPECT_EQ(model_.embed_calls(), calls_before);
+  EXPECT_EQ(both_sink.pairs(), tensor_sink.pairs());
+}
+
+TEST_F(PipelinedTensorTest, EarlyTerminationStopsMidTileAndAbortsEmbedding) {
+  // A bounded sink must stop the sweep inside a tile AND starve the
+  // producer: tiles past the double-buffer horizon are never embedded.
+  ThreadPool pool(4);
+  PipelinedTensorOptions options;
+  options.pool = &pool;
+  options.pipeline_tile_rows = 64;  // 700 rows -> 11 tiles.
+  MaterializingSink::Options sink_options;
+  sink_options.max_pairs = 200;
+  MaterializingSink sink(sink_options);
+  // Threshold below -1: every pair qualifies, so the bound hits fast.
+  auto stats = PipelinedTensorJoinToSink(left_emb_, right_words_, model_,
+                                         JoinCondition::Threshold(-2.0f),
+                                         options, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(sink.truncated());
+  EXPECT_EQ(sink.pairs().size(), 200u);
+  const uint64_t full_sweep = left_emb_.rows() * right_words_.size();
+  EXPECT_LT(stats->similarity_computations, full_sweep);
+  // At most the consumed tile, the two queued tiles, and one in-flight
+  // embed can have run; the tail of the stream must never reach the model.
+  EXPECT_LT(stats->model_calls, right_words_.size());
 }
 
 // ---------------------------------------------------------------------------
