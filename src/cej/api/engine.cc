@@ -158,6 +158,7 @@ plan::ExecContext Engine::MakeExecContext() const {
   context.pool = pool_.get();
   context.simd = options_.simd;
   context.cost_params = cost_params_;
+  context.shard_count = options_.join_shard_count;
   context.embedding_cache = embedding_cache_.get();
   for (const auto& [key, index] : indexes_) {
     context.indexes[key] = index;

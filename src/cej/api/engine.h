@@ -65,6 +65,10 @@ class Engine {
     /// a registered table's key column is embedded once and reused across
     /// queries (LRU-evicted past the budget). 0 disables the cache.
     size_t embedding_cache_bytes = size_t{256} << 20;
+    /// Right-relation shards for the sharding join operators. 0 (auto)
+    /// sizes shards from the pool width and the operator's shard-row
+    /// floor; a fixed count pins it for experiments / bench sweeps.
+    size_t join_shard_count = 0;
   };
 
   Engine();

@@ -1,6 +1,8 @@
 #include "cej/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "cej/common/cpu_info.h"
 
@@ -48,6 +50,38 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       grain);
 }
 
+namespace {
+
+// Per-call state of one ParallelForRange: chunks are CLAIMED through the
+// atomic cursor (by workers and the calling thread alike), not bound to
+// queue entries. Heap-allocated and shared with every submitted task so
+// late-arriving no-op tasks (whose chunks were already claimed) stay safe
+// after the call returns.
+struct RangeRun {
+  size_t begin = 0, end = 0, chunk = 0, num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;
+
+  // Claims and runs one chunk; false once every chunk has been claimed.
+  // `body` is guaranteed alive here: the caller cannot return (and drop
+  // it) before chunks_done reaches num_chunks, which includes this one.
+  bool RunOneChunk() {
+    const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) return false;
+    const size_t chunk_begin = begin + c * chunk;
+    const size_t chunk_end = std::min(end, chunk_begin + chunk);
+    (*body)(chunk_begin, chunk_end);
+    std::lock_guard<std::mutex> lock(mu);
+    if (++chunks_done == num_chunks) done_cv.notify_all();
+    return true;
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelForRange(
     size_t begin, size_t end, const std::function<void(size_t, size_t)>& body,
     size_t min_chunk) {
@@ -66,20 +100,31 @@ void ThreadPool::ParallelForRange(
   // counter: concurrent ParallelForRange calls sharing the pool (e.g. a
   // pipelined producer embedding one tile while the consumer sweeps
   // another) must not serialize on each other's chunks.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t remaining = num_chunks;
-  for (size_t c = 0; c < num_chunks; ++c) {
-    const size_t chunk_begin = begin + c * chunk;
-    const size_t chunk_end = std::min(end, chunk_begin + chunk);
-    Submit([&body, chunk_begin, chunk_end, &done_mu, &done_cv, &remaining] {
-      body(chunk_begin, chunk_end);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_all();
-    });
+  auto state = std::make_shared<RangeRun>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+  // One helper task per chunk workers COULD take (the caller covers the
+  // rest): each claims whatever chunk is next unclaimed, so a task that
+  // arrives after the caller has swept the range is a cheap no-op.
+  for (size_t c = 0; c + 1 < num_chunks; ++c) {
+    Submit([state] { state->RunOneChunk(); });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  // Caller-runs loop: this thread claims chunks alongside the workers
+  // instead of parking on a condition variable. Besides contributing a
+  // worker's worth of throughput, this is what makes nested calls safe —
+  // a ParallelForRange issued from inside a pool task executes its own
+  // chunks even when every worker is blocked in outer calls (the caller
+  // never executes OTHER calls' queued tasks, so it cannot get stuck
+  // inside foreign work either).
+  while (state->RunOneChunk()) {
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->chunks_done == state->num_chunks;
+  });
 }
 
 ThreadPool& ThreadPool::Default() {

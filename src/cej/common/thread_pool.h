@@ -46,6 +46,14 @@ class ThreadPool {
   /// Partition-level variant: runs `body(chunk_begin, chunk_end)` over
   /// contiguous sub-ranges. Preferred for kernels that want to iterate a
   /// range themselves (e.g. GEMM row tiles).
+  ///
+  /// Caller-runs: the calling thread claims and executes chunks of THIS
+  /// call alongside the workers instead of parking on a condition
+  /// variable, so the caller's core contributes a worker's worth of
+  /// throughput and a nested call from inside a pool task cannot deadlock
+  /// a small pool (the nested caller sweeps its own chunks when every
+  /// worker is busy). The caller never executes other calls' queued
+  /// tasks, so it cannot be captured by unrelated blocking work.
   void ParallelForRange(size_t begin, size_t end,
                         const std::function<void(size_t, size_t)>& body,
                         size_t min_chunk = 1);

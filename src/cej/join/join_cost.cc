@@ -1,5 +1,6 @@
 #include "cej/join/join_cost.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cej::join {
@@ -31,6 +32,18 @@ double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p) {
                        (p.access + p.compute) * p.tensor_efficiency;
   return static_cast<double>(m) * p.model +
          (embed_right > sweep ? embed_right : sweep);
+}
+
+double ShardedJoinCost(size_t m, size_t n, size_t shards, size_t workers,
+                       const CostParams& p) {
+  const double s = static_cast<double>(std::max<size_t>(shards, 1));
+  const double speedup = static_cast<double>(
+      std::max<size_t>(std::min(shards, workers), 1));
+  const double embed = static_cast<double>(m + n) * p.model;
+  const double sweep = static_cast<double>(m) * static_cast<double>(n) *
+                       (p.access + p.compute) * p.tensor_efficiency;
+  const double merge = static_cast<double>(m) * s * p.compute;
+  return embed + sweep / speedup + merge;
 }
 
 double IndexProbeCost(size_t n, const CostParams& p) {

@@ -64,6 +64,17 @@ double TensorJoinCost(size_t m, size_t n, const CostParams& p);
 /// min(|S| * M, sweep) — largest when model and sweep cost are balanced.
 double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p);
 
+/// Cost of the sharded tensor join over `shards` right-relation row
+/// shards on `workers` threads: the embedding is unchanged, the blocked
+/// sweep divides by the REAL parallelism min(shards, workers) — pinning
+/// more shards than workers buys no speedup — and a merge term charges
+/// the shared-consumer fan-in per left row per shard (the top-k
+/// re-collection pass; the threshold sink fan-in is cheaper but the same
+/// order). Undercuts TensorJoinCost once the per-shard sweep saving
+/// exceeds the merge — i.e. on large, wide joins with real parallelism.
+double ShardedJoinCost(size_t m, size_t n, size_t shards, size_t workers,
+                       const CostParams& p);
+
 /// Per-probe cost model I_probe over an index of n entries.
 double IndexProbeCost(size_t n, const CostParams& p);
 
@@ -88,6 +99,15 @@ struct JoinWorkload {
   /// pipelined operators overlap embedding with the sweep. Operators that
   /// need that fusion price themselves infinite when it is unavailable.
   bool right_strings_streamable = false;
+  /// Worker threads the executor will hand the operator, counting the
+  /// calling thread (a caller-runs pool of T workers supplies T + 1;
+  /// 1 = no pool). Partition-parallel operators price their speedup with
+  /// it and bow out when there is nothing to fan out across.
+  size_t pool_threads = 1;
+  /// Pinned right-relation shard count the operator will actually run
+  /// with (JoinOptions::shard_count; 0 = auto). Priced as-is so the
+  /// planner's quote matches the executed configuration.
+  size_t shard_count = 0;
 };
 
 }  // namespace cej::join

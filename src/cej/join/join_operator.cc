@@ -9,6 +9,7 @@
 #include "cej/join/nlj_naive.h"
 #include "cej/join/nlj_prefetch.h"
 #include "cej/join/pipelined_tensor.h"
+#include "cej/join/sharded_join.h"
 #include "cej/join/tensor_join.h"
 
 namespace cej::join {
@@ -345,6 +346,57 @@ class PipelinedTensorOperator : public JoinOperator {
   }
 };
 
+// ---------------------------------------------------------------------------
+// sharded_tensor — the blocked sweep partitioned over right-relation row
+// shards, one shard per pool worker, merged through one sink.
+// ---------------------------------------------------------------------------
+class ShardedTensorOperator : public JoinOperator {
+ public:
+  std::string_view Name() const override { return "sharded_tensor"; }
+
+  JoinOperatorTraits Traits() const override {
+    JoinOperatorTraits t;
+    t.needs_vectors = true;
+    return t;
+  }
+
+  double EstimateCost(const JoinWorkload& w,
+                      const CostParams& p) const override {
+    // Price the shard count Run() will ACTUALLY use — the same resolver
+    // execution calls, so a pinned knob is never quoted at the auto shape.
+    const size_t n = FilteredRight(w);
+    const size_t shards = ResolveShardCount(
+        n, w.pool_threads, w.shard_count, ShardedJoinOptions{}.min_shard_rows);
+    // Eligibility: with no workers to fan out across, or a single shard
+    // (below the shard-row floor), this IS the tensor operator — bow out
+    // and let it take those shapes.
+    if (w.pool_threads <= 1 || shards <= 1) return kInf;
+    return static_cast<double>(w.right_rows) * p.access +
+           ShardedJoinCost(w.left_rows, n, shards, w.pool_threads, p);
+  }
+
+  Result<JoinStats> Run(const JoinInputs& inputs,
+                        const JoinCondition& condition,
+                        const JoinOptions& options,
+                        JoinSink* sink) const override {
+    CEJ_RETURN_IF_ERROR(ValidateInputs(inputs, condition));
+    JoinStats total;
+    const la::Matrix* left = nullptr;
+    const la::Matrix* right = nullptr;
+    std::pair<la::Matrix, la::Matrix> storage;
+    CEJ_RETURN_IF_ERROR(MaterializeVectors(inputs, options.pool, &left,
+                                           &right, &storage, &total));
+    ShardedJoinOptions sharded_options;
+    static_cast<JoinOptions&>(sharded_options) = options;
+    CEJ_ASSIGN_OR_RETURN(
+        JoinStats join_stats,
+        ShardedTensorJoinMatricesToSink(*left, *right, condition,
+                                        sharded_options, sink));
+    total += join_stats;
+    return total;
+  }
+};
+
 }  // namespace
 
 Status JoinOperator::ValidateInputs(const JoinInputs& inputs,
@@ -393,6 +445,7 @@ JoinOperatorRegistry& JoinOperatorRegistry::Global() {
     CEJ_CHECK(r->Register(MakeTensorJoinOperator()).ok());
     CEJ_CHECK(r->Register(MakeIndexJoinOperator()).ok());
     CEJ_CHECK(r->Register(MakePipelinedTensorOperator()).ok());
+    CEJ_CHECK(r->Register(MakeShardedTensorOperator()).ok());
     return r;
   }();
   return *registry;
@@ -450,6 +503,9 @@ std::unique_ptr<const JoinOperator> MakeIndexJoinOperator() {
 }
 std::unique_ptr<const JoinOperator> MakePipelinedTensorOperator() {
   return std::make_unique<PipelinedTensorOperator>();
+}
+std::unique_ptr<const JoinOperator> MakeShardedTensorOperator() {
+  return std::make_unique<ShardedTensorOperator>();
 }
 
 }  // namespace cej::join

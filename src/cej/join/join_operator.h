@@ -11,7 +11,7 @@
 // registering — the planner and the cej::Engine facade pick them up
 // without modification.
 //
-// The five built-ins (registered by default in the global registry):
+// The six built-ins (registered by default in the global registry):
 //
 //   naive_nlj        embeds inside the pair loop  — |R|·|S| model calls
 //   prefetch_nlj     embeds once, then NLJ        — |R|+|S| model calls
@@ -20,6 +20,10 @@
 //   pipelined_tensor tiled right-side embedding overlapped with the
 //                    GEMM sweep — max(embed, sweep) per tile instead of
 //                    their sum (the Section V model-cost bottleneck)
+//   sharded_tensor   the blocked sweep partitioned over right-relation
+//                    row shards, one shard per pool worker, merged
+//                    through one sink — whole-right-relation parallelism
+//                    (the `tensor` operator only splits the left side)
 
 #ifndef CEJ_JOIN_JOIN_OPERATOR_H_
 #define CEJ_JOIN_JOIN_OPERATOR_H_
@@ -109,7 +113,7 @@ class JoinOperator {
 };
 
 /// Name-keyed catalog of physical join operators. The global instance is
-/// pre-seeded with the four built-ins; extensions register at startup.
+/// pre-seeded with the six built-ins; extensions register at startup.
 class JoinOperatorRegistry {
  public:
   /// The process-wide registry (thread-safe).
@@ -138,6 +142,7 @@ std::unique_ptr<const JoinOperator> MakePrefetchNljOperator();
 std::unique_ptr<const JoinOperator> MakeTensorJoinOperator();
 std::unique_ptr<const JoinOperator> MakeIndexJoinOperator();
 std::unique_ptr<const JoinOperator> MakePipelinedTensorOperator();
+std::unique_ptr<const JoinOperator> MakeShardedTensorOperator();
 
 }  // namespace cej::join
 

@@ -9,6 +9,7 @@
 
 #include "cej/common/thread_pool.h"
 #include "cej/common/timer.h"
+#include "cej/join/sweep_kernel.h"
 #include "cej/la/gemm.h"
 #include "cej/la/topk.h"
 
@@ -132,56 +133,32 @@ Result<JoinStats> PipelinedTensorJoinToSink(
     for (size_t i = 0; i < m; ++i) collectors.emplace_back(condition.k);
   }
 
-  // Sweeps one embedded tile against the whole left side, blocked exactly
-  // like the tensor join (L1-resident inner tiles). Workers own contiguous
-  // left-row ranges, so collector access is synchronization-free.
+  // Sweeps one embedded tile against the whole left side via the shared
+  // sweep kernel, blocked exactly like the tensor join (L1-resident inner
+  // tiles). The tile is a SLICE of the right stream: kernel-frame right
+  // row 0 is global row tile.begin, and the cross-tile collectors are
+  // externally owned. Workers own contiguous left-row ranges, so collector
+  // access is synchronization-free.
+  // Concurrently live sweep buffers, as measured by the shared kernel
+  // (written by the consumer thread only; the producer never sweeps).
+  size_t sweep_buffers = 0;
   auto sweep_tile = [&](const EmbeddedTile& tile) {
     const la::Matrix& rt = tile.vectors;
-    const size_t tile_n = rt.rows();
-    auto run_rows = [&](size_t row_begin, size_t row_end) {
-      std::vector<float> buffer(inner.rows_left * inner.rows_right);
-      std::vector<JoinPair> local;
-      for (size_t i0 = row_begin; i0 < row_end; i0 += inner.rows_left) {
-        if (feed.stopped()) break;
-        const size_t i1 = std::min(row_end, i0 + inner.rows_left);
-        for (size_t j0 = 0; j0 < tile_n && !feed.stopped();
-             j0 += inner.rows_right) {
-          const size_t j1 = std::min(tile_n, j0 + inner.rows_right);
-          la::GemmTile(left, rt, i0, i1, j0, j1, buffer.data(), options.simd);
-          sims.fetch_add(static_cast<uint64_t>(i1 - i0) * (j1 - j0),
-                         std::memory_order_relaxed);
-          const size_t cols = j1 - j0;
-          if (!topk) {
-            for (size_t i = i0; i < i1 && !feed.stopped(); ++i) {
-              const float* row = buffer.data() + (i - i0) * cols;
-              for (size_t j = 0; j < cols; ++j) {
-                if (row[j] >= condition.threshold) {
-                  local.push_back(
-                      {static_cast<uint32_t>(i),
-                       static_cast<uint32_t>(tile.begin + j0 + j), row[j]});
-                }
-              }
-              feed.MaybeDeliver(&local);
-            }
-          } else {
-            for (size_t i = i0; i < i1; ++i) {
-              const float* row = buffer.data() + (i - i0) * cols;
-              auto& collector = collectors[i];
-              for (size_t j = 0; j < cols; ++j) {
-                collector.Push(row[j],
-                               static_cast<uint64_t>(tile.begin + j0 + j));
-              }
-            }
-          }
-        }
-      }
-      feed.Deliver(&local);
+    TileKernel kernel = [&](size_t i0, size_t i1, size_t j0, size_t j1,
+                            float* buffer) {
+      la::GemmTile(left, rt, i0, i1, j0, j1, buffer, options.simd);
     };
-    if (options.pool != nullptr && m > inner.rows_left) {
-      options.pool->ParallelForRange(0, m, run_rows, inner.rows_left);
-    } else {
-      run_rows(0, m);
-    }
+    SweepSpec spec;
+    spec.left_end = m;
+    spec.right_end = rt.rows();
+    spec.right_id_offset = tile.begin;
+    spec.tile = inner;
+    spec.condition = condition;
+    spec.kernel = &kernel;
+    spec.feed = &feed;
+    spec.sims = &sims;
+    spec.collectors = topk ? &collectors : nullptr;
+    sweep_buffers = std::max(sweep_buffers, RunSweep(spec, options.pool));
   };
 
   // Producer state: written by the embedder, read by the caller only after
@@ -199,7 +176,8 @@ Result<JoinStats> PipelinedTensorJoinToSink(
     return tile;
   };
 
-  if (options.pool == nullptr || num_tiles == 1) {
+  const bool overlapped = options.pool != nullptr && num_tiles > 1;
+  if (!overlapped) {
     // No pool (or nothing to overlap): phase-alternate on the caller. The
     // memory bound — at most one embedded tile live — still holds.
     for (size_t t = 0; t < num_tiles && !feed.stopped(); ++t) {
@@ -235,21 +213,25 @@ Result<JoinStats> PipelinedTensorJoinToSink(
     feed.Deliver(&local);
   }
 
-  const size_t row_chunks = (m + inner.rows_left - 1) / inner.rows_left;
-  const size_t sweep_buffers =
-      options.pool == nullptr
-          ? 1
-          : std::min<size_t>(
-                static_cast<size_t>(options.pool->num_threads()), row_chunks);
   // Embedded tiles live at once in the pipelined path: one held by the
   // consumer during its sweep, up to two parked in the queue, one being
   // embedded by the producer.
-  const size_t live_tiles =
-      options.pool == nullptr || num_tiles == 1
-          ? 1
-          : std::min<size_t>(num_tiles, 4);
+  const size_t live_tiles = overlapped ? std::min<size_t>(num_tiles, 4) : 1;
   stats.join_seconds = total_timer.ElapsedSeconds();
-  stats.embed_seconds = embed_seconds;
+  if (overlapped) {
+    // The producer's model time runs CONCURRENTLY with the sweep, inside
+    // the join_seconds wall span: report it as the overlapped component so
+    // embed_seconds + join_seconds stays a faithful end-to-end total
+    // (reporting it as embed_seconds double-counted the hidden embedding).
+    stats.embed_overlapped_seconds = embed_seconds;
+  } else {
+    // Phase-alternating on the caller: nothing overlapped. The model time
+    // is ordinary embed_seconds, carved OUT of the wall span so the
+    // components stay non-overlapping.
+    stats.embed_seconds = embed_seconds;
+    stats.join_seconds =
+        std::max(0.0, stats.join_seconds - embed_seconds);
+  }
   stats.model_calls = embedded_rows;
   stats.similarity_computations = sims.load(std::memory_order_relaxed);
   stats.peak_buffer_bytes = live_tiles * tile_rows * left.cols() *

@@ -43,8 +43,12 @@ size_t ResolvePipelineTileRows(size_t right_rows,
 /// Joins pre-embedded left vectors against right-side *strings*, embedding
 /// right tiles concurrently with the sweep of the previous tile (see file
 /// comment). Pair right-ids address positions of `right`. Emitted stats:
-/// embed_seconds is wall time spent inside the model and overlaps
-/// join_seconds (the whole pipelined phase) by construction.
+/// when the pipeline overlaps (pool + several tiles), join_seconds is the
+/// wall time of the whole pipelined phase and the model time hidden
+/// inside it is reported as embed_overlapped_seconds (NOT as
+/// embed_seconds, which would double-count it in component sums); on the
+/// phase-alternating fallback nothing overlaps, so the model time is
+/// ordinary embed_seconds, excluded from join_seconds.
 Result<JoinStats> PipelinedTensorJoinToSink(
     const la::Matrix& left, const std::vector<std::string>& right,
     const model::EmbeddingModel& model, const JoinCondition& condition,

@@ -1,0 +1,178 @@
+#include "cej/join/sharded_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "cej/common/timer.h"
+#include "cej/join/sweep_kernel.h"
+#include "cej/la/gemm.h"
+#include "cej/la/topk.h"
+
+namespace cej::join {
+namespace {
+
+// Merge grain: left rows re-collected per worker chunk in the top-k merge
+// pass. Coarse enough to amortize scheduling, fine enough to balance.
+constexpr size_t kMergeGrainRows = 64;
+
+}  // namespace
+
+size_t AutoShardCount(size_t right_rows, size_t workers,
+                      size_t min_shard_rows) {
+  if (right_rows == 0) return 1;
+  min_shard_rows = std::max<size_t>(min_shard_rows, 1);
+  workers = std::max<size_t>(workers, 1);
+  return std::clamp<size_t>(right_rows / min_shard_rows, 1, workers);
+}
+
+size_t ResolveShardCount(size_t right_rows, size_t workers,
+                         size_t pinned_shard_count, size_t min_shard_rows) {
+  if (right_rows == 0) return 1;
+  if (pinned_shard_count != 0) {
+    return std::min(right_rows, pinned_shard_count);
+  }
+  return AutoShardCount(right_rows, workers, min_shard_rows);
+}
+
+size_t ResolveShardCount(size_t right_rows, const ThreadPool* pool,
+                         const ShardedJoinOptions& options) {
+  // The caller-runs pool contributes its own thread on top of the workers.
+  const size_t workers =
+      pool == nullptr ? 1 : static_cast<size_t>(pool->num_threads()) + 1;
+  return ResolveShardCount(right_rows, workers, options.shard_count,
+                           options.min_shard_rows);
+}
+
+Result<JoinStats> ShardedTensorJoinMatricesToSink(
+    const la::Matrix& left, const la::Matrix& right,
+    const JoinCondition& condition, const ShardedJoinOptions& options,
+    JoinSink* sink) {
+  CEJ_RETURN_IF_ERROR(ValidateJoinInputs(left, right));
+  CEJ_RETURN_IF_ERROR(ValidateJoinCondition(condition));
+  JoinStats stats;
+  const size_t m = left.rows();
+  const size_t n = right.rows();
+  if (m == 0 || n == 0) {
+    sink->Finish();
+    return stats;
+  }
+
+  const size_t shards = ResolveShardCount(n, options.pool, options);
+  const size_t max_shard_rows = (n + shards - 1) / shards;
+  // Inner blocking is sized for ONE shard's sweep: the whole left side
+  // against a right slice of at most max_shard_rows rows.
+  const TileShape tile =
+      ResolveTileShape(m, max_shard_rows, left.cols(), options);
+  const bool topk = condition.kind == JoinCondition::Kind::kTopK;
+
+  WallTimer timer;
+  SinkFeed feed(sink);
+  std::atomic<uint64_t> sims{0};
+  TileKernel kernel = [&](size_t i0, size_t i1, size_t j0, size_t j1,
+                          float* buffer) {
+    la::GemmTile(left, right, i0, i1, j0, j1, buffer, options.simd);
+  };
+
+  // Top-k is a property of the whole right relation: shard s keeps one
+  // collector per LEFT ROW over its slice, and the merge pass below
+  // re-collects the k best per left row across shards — a per-shard top-k
+  // alone would drop pairs whenever one left row's true top-k straddles a
+  // shard boundary.
+  std::vector<std::vector<la::TopKCollector>> shard_collectors(
+      topk ? shards : 0);
+
+  auto run_shard = [&](size_t s) {
+    if (feed.stopped()) return;
+    const size_t s0 = n * s / shards;
+    const size_t s1 = n * (s + 1) / shards;
+    if (s0 >= s1) return;
+    if (topk) {
+      auto& collectors = shard_collectors[s];
+      collectors.reserve(m);
+      for (size_t i = 0; i < m; ++i) collectors.emplace_back(condition.k);
+    }
+    SweepSpec spec;
+    spec.left_end = m;
+    spec.right_begin = s0;  // Kernel frame IS the global right matrix:
+    spec.right_end = s1;    // emitted ids need no offset.
+    spec.tile = tile;
+    spec.condition = condition;
+    spec.kernel = &kernel;
+    spec.feed = &feed;
+    spec.sims = &sims;
+    spec.collectors = topk ? &shard_collectors[s] : nullptr;
+    // One worker owns the shard's whole sweep; the parallelism of this
+    // operator is ACROSS shards, not within one.
+    SweepLeftRows(spec, 0, m);
+  };
+
+  if (options.pool != nullptr && shards > 1) {
+    options.pool->ParallelForRange(
+        0, shards,
+        [&run_shard](size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) run_shard(s);
+        },
+        1);
+  } else {
+    for (size_t s = 0; s < shards; ++s) run_shard(s);
+  }
+
+  if (topk && !feed.stopped()) {
+    // Final merge: per left row, re-collect the k best across shards and
+    // emit through the shared feed. Workers own disjoint left-row ranges,
+    // so collector access stays synchronization-free.
+    auto merge_rows = [&](size_t begin, size_t end) {
+      std::vector<JoinPair> local;
+      for (size_t i = begin; i < end && !feed.stopped(); ++i) {
+        la::TopKCollector merged(condition.k);
+        for (auto& collectors : shard_collectors) {
+          if (collectors.empty()) continue;  // Shard never ran.
+          for (const auto& scored : collectors[i].TakeSorted()) {
+            merged.Push(scored.score, scored.id);
+          }
+        }
+        for (const auto& scored : merged.TakeSorted()) {
+          local.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(scored.id), scored.score});
+        }
+        feed.MaybeDeliver(&local);
+      }
+      feed.Deliver(&local);
+    };
+    if (options.pool != nullptr && m > kMergeGrainRows) {
+      options.pool->ParallelForRange(0, m, merge_rows, kMergeGrainRows);
+    } else {
+      merge_rows(0, m);
+    }
+  }
+
+  const size_t concurrency =
+      options.pool == nullptr
+          ? 1
+          : std::min<size_t>(
+                static_cast<size_t>(options.pool->num_threads()) + 1, shards);
+  stats.join_seconds = timer.ElapsedSeconds();
+  stats.similarity_computations = sims.load(std::memory_order_relaxed);
+  stats.shards_used = shards;
+  stats.peak_buffer_bytes =
+      tile.buffer_bytes() * concurrency +
+      (topk ? shards * m * condition.k * sizeof(la::ScoredId) : 0);
+  sink->Finish();
+  return stats;
+}
+
+Result<JoinResult> ShardedTensorJoinMatrices(
+    const la::Matrix& left, const la::Matrix& right,
+    const JoinCondition& condition, const ShardedJoinOptions& options) {
+  MaterializingSink sink;
+  CEJ_ASSIGN_OR_RETURN(JoinStats stats,
+                       ShardedTensorJoinMatricesToSink(left, right, condition,
+                                                       options, &sink));
+  JoinResult result;
+  result.pairs = sink.TakePairs();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace cej::join

@@ -1,0 +1,79 @@
+// Sharded tensor join: the tensor formulation partitioned over the RIGHT
+// relation (the ROADMAP "sharded join operator", in the shape of
+// ClickHouse's parallel hash/merge pipeline: partition, per-shard kernels
+// on the pool, merge through one consumer).
+//
+// The E-join is embarrassingly partitionable over S: sim(r, s) depends on
+// one (r, s) pair, so splitting S into contiguous row shards and sweeping
+// each shard independently covers the full |R| x |S| frame. Every shard
+// runs the SAME shared sweep kernel as the `tensor` and `pipelined_tensor`
+// operators (sweep_kernel.h), just over its right sub-range — per-pair
+// similarities, and therefore results, are byte-identical by construction.
+//
+// Unlike `tensor`, whose pool parallelism splits the LEFT relation into
+// row tiles (and therefore starves when |R| is below one tile height),
+// the sharded operator's parallelism spans the whole right relation: each
+// worker owns one shard's full m x (n/shards) sweep. Merging:
+//
+//   * threshold shards stream qualifying pairs straight through the one
+//     locked sink as they are found, with cooperative early termination
+//     biting mid-shard (the stop flag is shared across shards);
+//   * top-k shards keep one collector PER LEFT ROW each — a per-shard
+//     top-k alone would be wrong — and a final pass re-collects the k
+//     best per left row across all shards before emitting.
+
+#ifndef CEJ_JOIN_SHARDED_JOIN_H_
+#define CEJ_JOIN_SHARDED_JOIN_H_
+
+#include "cej/common/status.h"
+#include "cej/join/join_common.h"
+#include "cej/join/join_sink.h"
+#include "cej/join/tensor_join.h"
+
+namespace cej::join {
+
+/// Knobs for the sharded tensor join. The inherited tensor-join fields
+/// control the inner (L1-resident) blocking of each shard's sweep; the
+/// inherited JoinOptions::shard_count fixes the shard count (0 = auto).
+struct ShardedJoinOptions : TensorJoinOptions {
+  /// Auto-sharding floor: a shard never covers fewer right rows than this
+  /// (amortizes per-shard scheduling and merge overhead). Auto shard
+  /// count = clamp(right_rows / min_shard_rows, 1, pool width + 1).
+  size_t min_shard_rows = 1024;
+};
+
+/// The auto-sharding rule shared by execution and pricing:
+/// clamp(right_rows / min_shard_rows, 1, workers). `workers` counts the
+/// caller too (a caller-runs pool of T threads supplies T + 1).
+size_t AutoShardCount(size_t right_rows, size_t workers,
+                      size_t min_shard_rows);
+
+/// The ONE shard-resolution rule — a pinned count wins (clamped to the
+/// row count), otherwise the auto rule above. Execution and pricing both
+/// call this, so the planner's quoted shard count cannot drift from the
+/// one Run() executes.
+size_t ResolveShardCount(size_t right_rows, size_t workers,
+                         size_t pinned_shard_count, size_t min_shard_rows);
+
+/// Execution-side convenience over the rule above. `pool` is the worker
+/// pool the shards would run on (nullptr = caller only).
+size_t ResolveShardCount(size_t right_rows, const ThreadPool* pool,
+                         const ShardedJoinOptions& options);
+
+/// Joins two embedded batches with per-shard blocked-GEMM sweeps over
+/// right row shards, merged into `sink` (see file comment). Byte-identical
+/// to TensorJoinMatricesToSink for every shard count. Stats report the
+/// shard count in JoinStats::shards_used.
+Result<JoinStats> ShardedTensorJoinMatricesToSink(
+    const la::Matrix& left, const la::Matrix& right,
+    const JoinCondition& condition, const ShardedJoinOptions& options,
+    JoinSink* sink);
+
+/// Materializing convenience wrapper (the JoinResult contract).
+Result<JoinResult> ShardedTensorJoinMatrices(
+    const la::Matrix& left, const la::Matrix& right,
+    const JoinCondition& condition, const ShardedJoinOptions& options = {});
+
+}  // namespace cej::join
+
+#endif  // CEJ_JOIN_SHARDED_JOIN_H_

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <functional>
 
 #include "cej/common/timer.h"
 #include "cej/join/join_sink.h"
+#include "cej/join/sweep_kernel.h"
 #include "cej/la/gemm.h"
-#include "cej/la/topk.h"
 
 namespace cej::join {
 namespace {
@@ -23,103 +22,9 @@ size_t DefaultRightBatch(size_t dim) {
   return std::clamp<size_t>(rows, 16, 2048);
 }
 
-// One intermediate-tile kernel: fills buffer[(i-i0)*(j1-j0) + (j-j0)] with
-// sim(left i, right j). FP32 uses the blocked GEMM; FP16 widens in
-// registers row by row.
-using TileKernel = std::function<void(size_t i0, size_t i1, size_t j0,
-                                      size_t j1, float* buffer)>;
-
-// The shared blocked sweep of Figure 6: produce a bounded tile, scan it
-// for qualifying pairs, stream them out, reuse the buffer. Workers own
-// contiguous ranges of left tiles (and, for top-k, the collectors of every
-// left row in their tiles), so the hot loop is synchronization-free; the
-// stop flag is polled once per left tile.
-struct TiledSweep {
-  size_t m, n;
-  TileShape tile;
-  JoinCondition condition;
-  const JoinOptions* options;
-  const TileKernel* kernel;
-  SinkFeed* feed;
-  std::atomic<uint64_t>* sims;
-
-  // Returns the worker concurrency actually used.
-  size_t Run() const {
-    const size_t num_left_tiles = (m + tile.rows_left - 1) / tile.rows_left;
-    auto run_tiles = [this](size_t tile_begin, size_t tile_end) {
-      std::vector<float> buffer(tile.rows_left * tile.rows_right);
-      std::vector<JoinPair> local;
-      std::vector<la::TopKCollector> collectors;
-      for (size_t t = tile_begin; t < tile_end; ++t) {
-        if (feed->stopped()) break;
-        const size_t i0 = t * tile.rows_left;
-        const size_t i1 = std::min(m, i0 + tile.rows_left);
-        if (condition.kind == JoinCondition::Kind::kTopK) {
-          collectors.clear();
-          collectors.reserve(i1 - i0);
-          for (size_t i = i0; i < i1; ++i) {
-            collectors.emplace_back(condition.k);
-          }
-        }
-        for (size_t j0 = 0; j0 < n && !feed->stopped();
-             j0 += tile.rows_right) {
-          const size_t j1 = std::min(n, j0 + tile.rows_right);
-          (*kernel)(i0, i1, j0, j1, buffer.data());
-          sims->fetch_add(static_cast<uint64_t>(i1 - i0) * (j1 - j0),
-                          std::memory_order_relaxed);
-          const size_t tile_cols = j1 - j0;
-          // Scan the dense tile; the sparse qualifying set is emitted as
-          // (batch offset) tuple pairs — the late-materialization result
-          // format of Figure 6 step 2. Threshold scans stream row by row
-          // (early termination bites within a tile); top-k rows finalize
-          // only once the whole left tile has been swept.
-          if (condition.kind == JoinCondition::Kind::kThreshold) {
-            for (size_t i = i0; i < i1 && !feed->stopped(); ++i) {
-              const float* row = buffer.data() + (i - i0) * tile_cols;
-              for (size_t j = 0; j < tile_cols; ++j) {
-                if (row[j] >= condition.threshold) {
-                  local.push_back({static_cast<uint32_t>(i),
-                                   static_cast<uint32_t>(j0 + j), row[j]});
-                }
-              }
-              feed->MaybeDeliver(&local);
-            }
-          } else {
-            for (size_t i = i0; i < i1; ++i) {
-              const float* row = buffer.data() + (i - i0) * tile_cols;
-              auto& collector = collectors[i - i0];
-              for (size_t j = 0; j < tile_cols; ++j) {
-                collector.Push(row[j], static_cast<uint64_t>(j0 + j));
-              }
-            }
-          }
-        }
-        if (condition.kind == JoinCondition::Kind::kTopK &&
-            !feed->stopped()) {
-          for (size_t i = i0; i < i1; ++i) {
-            for (const auto& scored : collectors[i - i0].TakeSorted()) {
-              local.push_back({static_cast<uint32_t>(i),
-                               static_cast<uint32_t>(scored.id),
-                               scored.score});
-            }
-          }
-        }
-        feed->MaybeDeliver(&local);
-      }
-      feed->Deliver(&local);
-    };
-
-    size_t concurrency = 1;
-    if (options->pool != nullptr && num_left_tiles > 1) {
-      concurrency = static_cast<size_t>(options->pool->num_threads());
-      options->pool->ParallelForRange(0, num_left_tiles, run_tiles);
-    } else {
-      run_tiles(0, num_left_tiles);
-    }
-    return std::min(concurrency, num_left_tiles);
-  }
-};
-
+// Runs the shared sweep kernel over the full m x n frame (the tensor
+// join's self-contained shape: whole right range, sweep-owned top-k
+// collectors) and wraps the counters into JoinStats.
 Result<JoinStats> RunTiledToSink(size_t m, size_t n,
                                  const TileShape& tile,
                                  const JoinCondition& condition,
@@ -133,8 +38,15 @@ Result<JoinStats> RunTiledToSink(size_t m, size_t n,
   WallTimer timer;
   SinkFeed feed(sink);
   std::atomic<uint64_t> sims{0};
-  TiledSweep sweep{m, n, tile, condition, &options, &kernel, &feed, &sims};
-  const size_t used_buffers = sweep.Run();
+  SweepSpec spec;
+  spec.left_end = m;
+  spec.right_end = n;
+  spec.tile = tile;
+  spec.condition = condition;
+  spec.kernel = &kernel;
+  spec.feed = &feed;
+  spec.sims = &sims;
+  const size_t used_buffers = RunSweep(spec, options.pool);
   stats.join_seconds = timer.ElapsedSeconds();
   stats.similarity_computations = sims.load(std::memory_order_relaxed);
   stats.peak_buffer_bytes = tile.buffer_bytes() * used_buffers;

@@ -23,14 +23,10 @@ TopKCollector::TopKCollector(size_t k) : k_(k) {
 }
 
 void TopKCollector::Push(float score, uint64_t id) {
+  if (!WouldAccept(score, id)) return;
   if (heap_.size() < k_) {
     heap_.push_back({score, id});
     std::push_heap(heap_.begin(), heap_.end(), HeapLess);
-    return;
-  }
-  const ScoredId& worst = heap_.front();
-  if (score < worst.score ||
-      (score == worst.score && id > worst.id)) {
     return;
   }
   std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
@@ -38,9 +34,12 @@ void TopKCollector::Push(float score, uint64_t id) {
   std::push_heap(heap_.begin(), heap_.end(), HeapLess);
 }
 
-bool TopKCollector::WouldAccept(float score) const {
+bool TopKCollector::WouldAccept(float score, uint64_t id) const {
   if (heap_.size() < k_) return true;
-  return score >= heap_.front().score;
+  const ScoredId& worst = heap_.front();
+  // Mirror of Push's displacement test: strictly better than the worst
+  // kept entry under the (score desc, id asc) total order.
+  return score > worst.score || (score == worst.score && id < worst.id);
 }
 
 std::vector<ScoredId> TopKCollector::TakeSorted() {
@@ -51,8 +50,10 @@ std::vector<ScoredId> TopKCollector::TakeSorted() {
 }
 
 std::vector<ScoredId> SelectTopK(const float* scores, size_t n, size_t k) {
-  TopKCollector collector(k == 0 ? 1 : k);
+  // The k == 0 answer is decided before any collector exists: the
+  // collector CHECKs k > 0 and must never be constructed for it.
   if (k == 0) return {};
+  TopKCollector collector(k);
   for (size_t i = 0; i < n; ++i) {
     collector.Push(scores[i], static_cast<uint64_t>(i));
   }

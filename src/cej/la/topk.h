@@ -37,8 +37,11 @@ class TopKCollector {
   /// Offers a candidate; kept only if it beats the current k-th best.
   void Push(float score, uint64_t id);
 
-  /// True if a candidate with `score` would be accepted right now.
-  bool WouldAccept(float score) const;
+  /// True iff Push(score, id) would displace the current worst kept entry
+  /// (or the collector is not yet full) — a faithful pre-filter: it applies
+  /// Push's exact ordering, including the smaller-id tie-break, so a true
+  /// return is never followed by a rejected Push of the same candidate.
+  bool WouldAccept(float score, uint64_t id) const;
 
   size_t k() const { return k_; }
   size_t size() const { return heap_.size(); }

@@ -378,6 +378,12 @@ class PlanExecutor {
     workload.condition = node->condition;
     workload.index_available = idx != nullptr;
     workload.right_strings_streamable = fusion_candidate;
+    // Caller-runs pool: the calling thread works alongside the workers.
+    workload.pool_threads =
+        context_.pool != nullptr
+            ? static_cast<size_t>(context_.pool->num_threads()) + 1
+            : 1;
+    workload.shard_count = context_.shard_count;
 
     CEJ_ASSIGN_OR_RETURN(const JoinOperator* op,
                          SelectOperator(workload, idx != nullptr));
@@ -538,6 +544,7 @@ class PlanExecutor {
     join::JoinOptions options;
     options.pool = context_.pool;
     options.simd = context_.simd;
+    options.shard_count = context_.shard_count;
     return options;
   }
 

@@ -42,6 +42,9 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   la::SimdMode simd = la::SimdMode::kAuto;
   CostParams cost_params;
+  /// Right-relation shard count handed to sharding operators
+  /// (join::JoinOptions::shard_count; 0 = auto from the pool width).
+  size_t shard_count = 0;
   /// Prebuilt vector indexes keyed by "<table>.<vector_column>" — the
   /// Embed output column for rewritten plans, or a stored vector column.
   /// An index must cover the *base table* rows of its Scan.

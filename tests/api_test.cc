@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -297,6 +298,131 @@ TEST_F(EngineCrossValidationTest, PipelinedTensorMatchesTensorThroughEngine) {
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stream_stats.join_operator, "pipelined_tensor");
   EXPECT_EQ(pipelined_sink.pairs(), tensor_sink.pairs());
+}
+
+TEST_F(EngineCrossValidationTest, ShardedTensorMatchesTensorThroughEngine) {
+  // The sixth operator: forced on the pool-less fixture engine (a single
+  // shard) AND on a pooled engine with the shard knob pinned, both must
+  // reproduce the tensor relation exactly.
+  const auto condition = join::JoinCondition::TopK(3);
+  auto tensor = engine_.Query("l")
+                    .EJoin("r", "word", condition)
+                    .Via("tensor")
+                    .Execute();
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  auto sharded = engine_.Query("l")
+                     .EJoin("r", "word", condition)
+                     .Via("sharded_tensor")
+                     .Execute();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->stats.join_operator, "sharded_tensor");
+  EXPECT_EQ(sharded->stats.join_stats.shards_used, 1u);  // No pool.
+  EXPECT_EQ(RenderPairs(sharded->relation), RenderPairs(tensor->relation));
+
+  Engine::Options pooled_options = ScalarEngine();
+  pooled_options.num_threads = 3;
+  pooled_options.join_shard_count = 4;  // Engine-level shard knob.
+  Engine pooled(pooled_options);
+  ASSERT_TRUE(pooled.RegisterTable("l", WordsTable(left_words_, 43)).ok());
+  ASSERT_TRUE(pooled.RegisterTable("r", WordsTable(right_words_, 44)).ok());
+  ASSERT_TRUE(pooled.RegisterModel("subword", &model_).ok());
+  auto pinned = pooled.Query("l")
+                    .EJoin("r", "word", condition)
+                    .Via("sharded_tensor")
+                    .Execute();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->stats.join_stats.shards_used, 4u);
+  EXPECT_EQ(RenderPairs(pinned->relation), RenderPairs(tensor->relation));
+}
+
+TEST(EngineShardedSelectionTest, LargeWideJoinSelectsShardedTensorByCost) {
+  // The acceptance workload: a large vector-domain join on a pooled
+  // engine. The registry scan must pick sharded_tensor unforced — its
+  // per-shard sweep / parallelism quote undercuts the serial tensor sweep
+  // once the right side clears the shard floor — and the result must be
+  // byte-identical to the forced tensor run.
+  Engine::Options options;
+  options.num_threads = 4;
+  // Scalar kernel: the byte-identity check below crosses operators whose
+  // tile widths differ (shard boundaries), which kAuto's width-dependent
+  // kernel split would perturb in the last ulp.
+  options.simd = la::SimdMode::kForceScalar;
+  Engine engine(options);
+  la::Matrix left = workload::RandomUnitVectors(512, 8, 95);
+  la::Matrix right = workload::RandomUnitVectors(6000, 8, 96);
+  ASSERT_TRUE(engine.RegisterTable("l", VectorTable(left.Clone())).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", VectorTable(right.Clone())).ok());
+
+  const auto condition = join::JoinCondition::TopK(2);
+  join::MaterializingSink chosen_sink, tensor_sink;
+  plan::ExecStats stats;
+  auto run = engine.Query("l")
+                 .EJoin("r", "emb", condition)
+                 .Stream(&chosen_sink, &stats);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(stats.join_operator, "sharded_tensor");
+  EXPECT_EQ(stats.join_access_path, plan::AccessPath::kScan);
+  EXPECT_GE(stats.join_stats.shards_used, 2u);
+  ASSERT_TRUE(engine.Query("l")
+                  .EJoin("r", "emb", condition)
+                  .Via("tensor")
+                  .Stream(&tensor_sink)
+                  .ok());
+  EXPECT_EQ(chosen_sink.pairs(), tensor_sink.pairs());
+}
+
+TEST(EngineConcurrencyTest, ConcurrentStreamsShareRegistryCacheAndPool) {
+  // Many threads querying ONE engine concurrently: the global operator
+  // registry, the engine's embedding cache, and its worker pool are all
+  // shared. Every stream must observe the same pairs; the interleaving of
+  // pool-parallel operators inside pool-parallel queries must neither
+  // deadlock (caller-runs ParallelForRange) nor cross results.
+  Engine::Options options;
+  options.num_threads = 2;
+  options.simd = la::SimdMode::kForceScalar;
+  Engine engine(options);
+  model::SubwordHashModel model;
+  auto left_words = workload::RandomStrings(30, 4, 8, 61);
+  auto right_words = workload::RandomStrings(2200, 4, 8, 62);
+  right_words.insert(right_words.end(), left_words.begin(),
+                     left_words.end());
+  ASSERT_TRUE(engine.RegisterTable("l", WordsTable(left_words, 63)).ok());
+  ASSERT_TRUE(engine.RegisterTable("r", WordsTable(right_words, 64)).ok());
+  ASSERT_TRUE(engine.RegisterModel("subword", &model).ok());
+  const auto condition = join::JoinCondition::Threshold(0.5f);
+
+  join::MaterializingSink reference_sink;
+  ASSERT_TRUE(engine.Query("l")
+                  .EJoin("r", "word", condition)
+                  .Via("tensor")
+                  .Stream(&reference_sink)
+                  .ok());
+  ASSERT_GT(reference_sink.pairs().size(), 0u);
+
+  constexpr size_t kThreads = 8;
+  std::vector<join::MaterializingSink> sinks(kThreads);
+  std::vector<Status> statuses(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Alternate forced operators so differently-parallel implementations
+      // overlap on the one pool: sharded (right shards), tensor (left
+      // tiles), and the cost-based pick (pipelined on this surface).
+      auto builder = engine.Query("l").EJoin("r", "word", condition);
+      if (t % 3 == 0) {
+        builder.Via("sharded_tensor");
+      } else if (t % 3 == 1) {
+        builder.Via("tensor");
+      }
+      statuses[t] = builder.Stream(&sinks[t]).status();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << "thread " << t << ": "
+                                  << statuses[t].ToString();
+    EXPECT_EQ(sinks[t].pairs(), reference_sink.pairs()) << "thread " << t;
+  }
 }
 
 TEST_F(EngineCrossValidationTest, OptimizerCutsModelCallsQuadraticToLinear) {

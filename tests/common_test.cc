@@ -3,8 +3,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -270,6 +273,55 @@ TEST(ThreadPoolTest, ParallelForRangeChunksAreDisjointAndComplete) {
     expected_begin = e;
   }
   EXPECT_EQ(expected_begin, 1010u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRangeDoesNotDeadlockASmallPool) {
+  // Regression: ParallelForRange used to park the calling thread on a
+  // condition variable, so a nested call from inside a pool task on a
+  // 1-thread pool deadlocked — the only worker waited for chunks nobody
+  // could run. The caller-runs loop executes the queued chunks itself.
+  ThreadPool pool(1);
+  std::atomic<int> inner_hits{0};
+  std::atomic<bool> outer_ran{false};
+  pool.Submit([&] {
+    pool.ParallelForRange(0, 8, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) inner_hits.fetch_add(1);
+    });
+    outer_ran.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(outer_ran.load());
+  EXPECT_EQ(inner_hits.load(), 8);
+}
+
+TEST(ThreadPoolTest, CallerRunsChunksWhileWaiting) {
+  // With every worker pinned by a blocking task, ParallelForRange can only
+  // finish if the calling thread executes the queued chunks itself.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> ran_on_caller{0};
+  std::atomic<int> hits{0};
+  pool.ParallelForRange(0, 64, [&](size_t begin, size_t end) {
+    if (std::this_thread::get_id() == caller) ran_on_caller.fetch_add(1);
+    hits.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(hits.load(), 64);
+  EXPECT_GT(ran_on_caller.load(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
 }
 
 TEST(ThreadPoolTest, ParallelForRangeRespectsMinChunk) {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include "cej/join/join_operator.h"
 #include "cej/join/join_sink.h"
 #include "cej/join/pipelined_tensor.h"
+#include "cej/join/sharded_join.h"
 #include "cej/join/tensor_join.h"
 #include "cej/model/subword_hash_model.h"
 #include "cej/workload/generators.h"
@@ -39,12 +41,19 @@ TEST(JoinStatsTest, MergeAccumulatesCountsAndMaxesBuffers) {
   b.embed_seconds = 0.25;
   b.join_seconds = 2.0;
 
+  a.embed_overlapped_seconds = 0.125;
+  a.shards_used = 4;
+  b.embed_overlapped_seconds = 0.5;
+  b.shards_used = 2;
+
   a += b;
   EXPECT_EQ(a.model_calls, 15u);
   EXPECT_EQ(a.similarity_computations, 150u);
   EXPECT_EQ(a.peak_buffer_bytes, 1024u);  // max, not sum
   EXPECT_DOUBLE_EQ(a.embed_seconds, 1.75);
   EXPECT_DOUBLE_EQ(a.join_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(a.embed_overlapped_seconds, 0.625);
+  EXPECT_EQ(a.shards_used, 4u);  // max, not sum
 
   const JoinStats c = a + b;
   EXPECT_EQ(c.model_calls, 20u);
@@ -98,15 +107,15 @@ TEST(ValidationTest, ZeroKTopKRejectedEverywhere) {
 // Registry
 // ---------------------------------------------------------------------------
 
-TEST(RegistryTest, GlobalHoldsTheFiveBuiltins) {
+TEST(RegistryTest, GlobalHoldsTheSixBuiltins) {
   auto& registry = JoinOperatorRegistry::Global();
   for (const char* name : {"naive_nlj", "prefetch_nlj", "tensor", "index",
-                           "pipelined_tensor"}) {
+                           "pipelined_tensor", "sharded_tensor"}) {
     auto op = registry.Find(name);
     ASSERT_TRUE(op.ok()) << name;
     EXPECT_EQ((*op)->Name(), name);
   }
-  EXPECT_GE(registry.operators().size(), 5u);
+  EXPECT_GE(registry.operators().size(), 6u);
 }
 
 TEST(RegistryTest, UnknownNameListsRegisteredOperators) {
@@ -368,6 +377,12 @@ TEST_F(PipelinedTensorTest, MatchesTensorAcrossTilesAndConditions) {
     EXPECT_EQ(stats->model_calls, right_words_.size());
     EXPECT_EQ(stats->similarity_computations,
               left_emb_.rows() * right_words_.size());
+    // The producer's model time is hidden INSIDE the join wall time: it
+    // must be reported as the overlapped component, never as
+    // embed_seconds (summing embed + join would double-count it).
+    EXPECT_EQ(stats->embed_seconds, 0.0);
+    EXPECT_GT(stats->embed_overlapped_seconds, 0.0);
+    EXPECT_LE(stats->embed_overlapped_seconds, stats->join_seconds);
     ASSERT_EQ(sink.pairs().size(), reference->pairs.size());
     for (size_t i = 0; i < sink.pairs().size(); ++i) {
       EXPECT_EQ(sink.pairs()[i], reference->pairs[i]) << i;
@@ -393,6 +408,10 @@ TEST_F(PipelinedTensorTest, OperatorAcceptsStringsAndVectorsAlike) {
       pipelined->Run(string_inputs, condition, options, &string_sink);
   ASSERT_TRUE(string_stats.ok()) << string_stats.status().ToString();
   EXPECT_EQ(string_stats->model_calls, right_words_.size());
+  // No pool: the phase-alternating fallback ran, so its model time is
+  // ordinary (non-overlapped) embed_seconds — nothing was hidden.
+  EXPECT_GT(string_stats->embed_seconds, 0.0);
+  EXPECT_EQ(string_stats->embed_overlapped_seconds, 0.0);
 
   // Vector domain on both sides: degrades to the plain blocked sweep.
   la::Matrix right_emb = model_.EmbedBatch(right_words_);
@@ -446,6 +465,181 @@ TEST_F(PipelinedTensorTest, EarlyTerminationStopsMidTileAndAbortsEmbedding) {
   // At most the consumed tile, the two queued tiles, and one in-flight
   // embed can have run; the tail of the stream must never reach the model.
   EXPECT_LT(stats->model_calls, right_words_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded tensor join
+// ---------------------------------------------------------------------------
+
+class ShardedJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_ = workload::RandomUnitVectors(90, 16, 81);
+    right_ = workload::RandomUnitVectors(1200, 16, 82);
+  }
+  la::Matrix left_, right_;
+};
+
+TEST_F(ShardedJoinTest, MatchesTensorAcrossShardCountsConditionsAndSinks) {
+  // The acceptance contract: byte-identical sorted pairs to the plain
+  // tensor sweep for every shard count, for threshold and top-k alike,
+  // through a materializing AND a callback sink. Both operators execute
+  // the one shared sweep kernel, so this holds by construction — the test
+  // guards the partition/merge plumbing around it. The scalar kernel is
+  // pinned because shard boundaries change tile widths, and kAuto's
+  // 8-dot/1-dot kernel split follows the width (last-ulp differences).
+  ThreadPool pool(4);
+  for (const JoinCondition& condition :
+       {JoinCondition::Threshold(0.35f), JoinCondition::TopK(3)}) {
+    TensorJoinOptions tensor_options;
+    tensor_options.pool = &pool;
+    tensor_options.simd = la::SimdMode::kForceScalar;
+    auto reference =
+        TensorJoinMatrices(left_, right_, condition, tensor_options);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_GT(reference->pairs.size(), 0u);
+
+    for (size_t shard_count : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                               size_t{16}}) {
+      ShardedJoinOptions options;
+      options.pool = &pool;
+      options.simd = la::SimdMode::kForceScalar;
+      options.shard_count = shard_count;
+
+      MaterializingSink sink;
+      auto stats = ShardedTensorJoinMatricesToSink(left_, right_, condition,
+                                                   options, &sink);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(stats->shards_used, shard_count);
+      EXPECT_EQ(stats->similarity_computations,
+                left_.rows() * right_.rows());
+      ASSERT_EQ(sink.pairs().size(), reference->pairs.size())
+          << "shards=" << shard_count;
+      for (size_t i = 0; i < sink.pairs().size(); ++i) {
+        EXPECT_EQ(sink.pairs()[i], reference->pairs[i])
+            << "shards=" << shard_count << " pair " << i;
+      }
+
+      // Callback sink: chunks arrive unordered from shard workers; the
+      // collected multiset must still match the reference exactly.
+      std::mutex mu;
+      std::vector<JoinPair> collected;
+      CallbackSink callback([&](const JoinPair* pairs, size_t count) {
+        std::lock_guard<std::mutex> lock(mu);
+        collected.insert(collected.end(), pairs, pairs + count);
+        return true;
+      });
+      ASSERT_TRUE(ShardedTensorJoinMatricesToSink(left_, right_, condition,
+                                                  options, &callback)
+                      .ok());
+      SortPairs(&collected);
+      EXPECT_EQ(collected, reference->pairs) << "shards=" << shard_count;
+    }
+  }
+}
+
+TEST_F(ShardedJoinTest, AutoShardingFollowsPoolAndFloor) {
+  ShardedJoinOptions options;
+  // No pool: one shard regardless of size.
+  EXPECT_EQ(ResolveShardCount(100000, nullptr, options), 1u);
+  ThreadPool pool(3);
+  options.pool = &pool;
+  // Caller-runs pool of 3 → up to 4 workers; floor 1024 rows per shard.
+  EXPECT_EQ(ResolveShardCount(100000, &pool, options), 4u);
+  EXPECT_EQ(ResolveShardCount(2048, &pool, options), 2u);
+  EXPECT_EQ(ResolveShardCount(1000, &pool, options), 1u);  // Below floor.
+  // Explicit count wins, clamped to the row count.
+  options.shard_count = 9;
+  EXPECT_EQ(ResolveShardCount(100000, &pool, options), 9u);
+  EXPECT_EQ(ResolveShardCount(5, &pool, options), 5u);
+}
+
+TEST_F(ShardedJoinTest, OperatorRegisteredWithTensorSemantics) {
+  auto& registry = JoinOperatorRegistry::Global();
+  const JoinOperator* sharded = *registry.Find("sharded_tensor");
+  EXPECT_TRUE(sharded->Traits().needs_vectors);
+  EXPECT_TRUE(sharded->Traits().exact);
+
+  ThreadPool pool(4);
+  JoinOptions options;
+  options.pool = &pool;
+  options.simd = la::SimdMode::kForceScalar;  // Cross-operator identity.
+  options.shard_count = 5;
+  JoinInputs inputs;
+  inputs.left_vectors = &left_;
+  inputs.right_vectors = &right_;
+  MaterializingSink sharded_sink, tensor_sink;
+  auto stats = sharded->Run(inputs, JoinCondition::TopK(2), options,
+                            &sharded_sink);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->shards_used, 5u);
+  ASSERT_TRUE((*registry.Find("tensor"))
+                  ->Run(inputs, JoinCondition::TopK(2), options, &tensor_sink)
+                  .ok());
+  EXPECT_EQ(sharded_sink.pairs(), tensor_sink.pairs());
+}
+
+TEST_F(ShardedJoinTest, PricingRequiresWorkersAndEnoughRows) {
+  auto& registry = JoinOperatorRegistry::Global();
+  const JoinOperator* sharded = *registry.Find("sharded_tensor");
+  CostParams p;
+  JoinWorkload w;
+  w.left_rows = 5000;
+  w.right_rows = 100000;
+  w.condition = JoinCondition::Threshold(0.9f);
+  // No workers: a single shard is the tensor operator — bow out.
+  w.pool_threads = 1;
+  EXPECT_TRUE(std::isinf(sharded->EstimateCost(w, p)));
+  // Too few right rows to clear the shard floor: likewise.
+  w.pool_threads = 8;
+  w.right_rows = 500;
+  EXPECT_TRUE(std::isinf(sharded->EstimateCost(w, p)));
+  // Large wide join with real parallelism: undercuts the plain tensor.
+  w.right_rows = 100000;
+  const double sharded_cost = sharded->EstimateCost(w, p);
+  const double tensor_cost =
+      (*registry.Find("tensor"))->EstimateCost(w, p);
+  EXPECT_TRUE(std::isfinite(sharded_cost));
+  EXPECT_LT(sharded_cost, tensor_cost);
+  // The quote matches the published cost formula at the auto shard count.
+  const double expected =
+      static_cast<double>(w.right_rows) * p.access +
+      ShardedJoinCost(w.left_rows, w.right_rows,
+                      AutoShardCount(w.right_rows, w.pool_threads,
+                                     ShardedJoinOptions{}.min_shard_rows),
+                      w.pool_threads, p);
+  EXPECT_DOUBLE_EQ(sharded_cost, expected);
+  // A pinned shard count is priced AS PINNED — the quote must track the
+  // configuration Run() will execute, not the auto shape (over-sharding
+  // past the worker count pays its merge term without extra speedup).
+  w.shard_count = 64;
+  const double pinned_cost = sharded->EstimateCost(w, p);
+  EXPECT_DOUBLE_EQ(
+      pinned_cost,
+      static_cast<double>(w.right_rows) * p.access +
+          ShardedJoinCost(w.left_rows, w.right_rows, 64, w.pool_threads, p));
+  EXPECT_GT(pinned_cost, sharded_cost);
+}
+
+TEST_F(ShardedJoinTest, EarlyTerminationStopsMidShard) {
+  // A bounded sink must stop the sweep INSIDE a shard: the stop flag is
+  // shared across shard workers, so the operator performs a fraction of
+  // the full cross product before returning.
+  ThreadPool pool(4);
+  ShardedJoinOptions options;
+  options.pool = &pool;
+  options.shard_count = 4;
+  MaterializingSink::Options sink_options;
+  sink_options.max_pairs = 500;
+  MaterializingSink sink(sink_options);
+  // Threshold below -1: every pair qualifies, so the bound hits fast.
+  auto stats = ShardedTensorJoinMatricesToSink(
+      left_, right_, JoinCondition::Threshold(-2.0f), options, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(sink.truncated());
+  EXPECT_EQ(sink.pairs().size(), 500u);
+  EXPECT_LT(stats->similarity_computations,
+            static_cast<uint64_t>(left_.rows()) * right_.rows());
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 // vs naive reference, top-k selection. Heavy use of parameterized sweeps
 // over dimensionality and tile shapes.
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <tuple>
@@ -348,11 +349,36 @@ TEST(TopKTest, TieBrokenBySmallerId) {
 
 TEST(TopKTest, WouldAcceptTracksThreshold) {
   TopKCollector collector(2);
-  collector.Push(0.8f, 0);
-  collector.Push(0.6f, 1);
-  EXPECT_TRUE(collector.WouldAccept(0.7f));
-  EXPECT_TRUE(collector.WouldAccept(0.6f));  // Ties can displace larger ids.
-  EXPECT_FALSE(collector.WouldAccept(0.5f));
+  collector.Push(0.8f, 1);
+  collector.Push(0.6f, 4);
+  EXPECT_TRUE(collector.WouldAccept(0.7f, 99));  // Beats the worst score.
+  EXPECT_TRUE(collector.WouldAccept(0.6f, 0));   // Tie, smaller id displaces.
+  EXPECT_FALSE(collector.WouldAccept(0.6f, 9));  // Tie, larger id: Push
+                                                 // would reject it too.
+  EXPECT_FALSE(collector.WouldAccept(0.5f, 0));
+}
+
+TEST(TopKTest, WouldAcceptIsAFaithfulPushPreFilter) {
+  // Property: WouldAccept answers exactly whether the candidate survives
+  // the subsequent Push — no tie admitted and then rejected on id, no
+  // candidate rejected and then kept.
+  constexpr size_t kK = 8;
+  Rng rng(77);
+  TopKCollector collector(kK);
+  std::vector<ScoredId> all;
+  for (uint64_t id = 0; id < 300; ++id) {
+    // Coarse score grid: plenty of exact ties.
+    const float score = static_cast<float>(rng.NextBounded(10)) / 10.0f;
+    const bool predicted = collector.WouldAccept(score, id);
+    collector.Push(score, id);
+    all.push_back({score, id});
+    std::sort(all.begin(), all.end());  // Best-first total order.
+    const size_t kept_n = std::min(all.size(), kK);
+    const bool kept =
+        std::find(all.begin(), all.begin() + kept_n, ScoredId{score, id}) !=
+        all.begin() + kept_n;
+    EXPECT_EQ(predicted, kept) << "id " << id;
+  }
 }
 
 TEST(TopKTest, SelectTopKMatchesFullSort) {
