@@ -1,9 +1,11 @@
 #include "cej/api/engine.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "cej/plan/cost_model.h"
 #include "cej/plan/rewrite.h"
+#include "cej/storage/column.h"
 
 namespace cej {
 
@@ -22,6 +24,12 @@ Engine::Engine(const Options& options) : options_(options) {
     cache_options.max_bytes = options_.embedding_cache_bytes;
     embedding_cache_ = std::make_unique<EmbeddingCache>(cache_options);
   }
+  index::IndexManager::Options manager_options;
+  manager_options.auto_build_after_losses = options_.index_auto_build_losses;
+  manager_options.auto_build = options_.index_auto_build_options;
+  index_manager_ = std::make_unique<index::IndexManager>(
+      std::move(manager_options), pool_.get(), embedding_cache_.get(),
+      options_.simd);
 }
 
 Engine::~Engine() = default;
@@ -37,6 +45,7 @@ Status Engine::RegisterTable(
   if (table == nullptr) {
     return Status::InvalidArgument("RegisterTable: null table");
   }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
   if (!inserted) {
     return Status::AlreadyExists("table '" + it->first +
@@ -57,17 +66,22 @@ Status Engine::ReplaceTable(
     return Status::InvalidArgument("ReplaceTable: null table");
   }
   // Drop everything derived from the old contents: cached column
-  // embeddings AND registered indexes (a stale index would silently probe
-  // the old table's vectors — re-register after rebuilding it).
+  // embeddings AND catalog indexes (a stale index would silently probe
+  // the old table's vectors — rebuild via BuildIndex, or re-register,
+  // for the new data). Queries already running keep the snapshots they
+  // planned against; only NEW plans see the replacement.
+  //
+  // The swap and the invalidations happen under ONE critical section
+  // (lock order: catalog_mu_ outermost, then the manager's and cache's
+  // internal mutexes — nothing acquires them in the reverse order). That
+  // atomicity is what makes the two races impossible: a planner cannot
+  // pair the NEW table with a pre-invalidation index snapshot, and a
+  // BuildIndex cannot pair a post-bump generation with the OLD relation
+  // — in both cases observing one side of the replacement implies the
+  // whole replacement, so the stale combination never exists.
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   if (embedding_cache_ != nullptr) embedding_cache_->InvalidateTable(name);
-  const std::string prefix = name + ".";
-  for (auto it = indexes_.begin(); it != indexes_.end();) {
-    if (it->first.compare(0, prefix.size(), prefix) == 0) {
-      it = indexes_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  index_manager_->InvalidateTable(name);
   tables_[std::move(name)] = std::move(table);
   return Status::OK();
 }
@@ -78,6 +92,7 @@ Status Engine::RegisterModel(std::string name,
     return Status::InvalidArgument(
         "RegisterModel: null model or zero dimensionality");
   }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto [it, inserted] = models_.emplace(std::move(name), model);
   if (!inserted) {
     return Status::AlreadyExists("model '" + it->first +
@@ -90,11 +105,13 @@ Status Engine::RegisterModel(std::string name,
 Status Engine::RegisterModel(
     std::string name, std::unique_ptr<const model::EmbeddingModel> model) {
   CEJ_RETURN_IF_ERROR(RegisterModel(std::move(name), model.get()));
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   owned_models_.push_back(std::move(model));
   return Status::OK();
 }
 
 Status Engine::SetDefaultModel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   if (models_.find(name) == models_.end()) {
     return Status::NotFound("model '" + name + "' not registered");
   }
@@ -108,20 +125,61 @@ Status Engine::RegisterIndex(const std::string& table,
   if (index == nullptr) {
     return Status::InvalidArgument("RegisterIndex: null index");
   }
-  if (tables_.find(table) == tables_.end()) {
-    return Status::NotFound("table '" + table + "' not registered");
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (tables_.find(table) == tables_.end()) {
+      return Status::NotFound("table '" + table + "' not registered");
+    }
   }
-  const std::string key = table + "." + column;
-  if (indexes_.find(key) != indexes_.end()) {
-    return Status::AlreadyExists("index for '" + key +
-                                 "' already registered");
+  return index_manager_->RegisterExternal(table, column, index);
+}
+
+Result<index::IndexBuildStats> Engine::BuildIndex(
+    const std::string& table, const std::string& column,
+    const index::IndexBuildOptions& options) {
+  // Generation BEFORE the relation snapshot: a ReplaceTable interleaving
+  // anywhere after this line makes the publish a no-op instead of
+  // publishing an index over replaced contents.
+  const uint64_t generation = index_manager_->TableGeneration(table);
+  CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> relation,
+                       Table(table));
+  CEJ_ASSIGN_OR_RETURN(const model::EmbeddingModel* model,
+                       ResolveColumnModel(*relation, column, options.model));
+  return index_manager_->Build(table, std::move(relation), column, model,
+                               options, generation);
+}
+
+Status Engine::SaveIndex(const std::string& table, const std::string& column,
+                         const std::string& path) const {
+  return index_manager_->Save(table, column, path);
+}
+
+Result<index::IndexBuildStats> Engine::LoadIndex(
+    const std::string& table, const std::string& column,
+    const std::string& path, const std::string& model_name) {
+  const uint64_t generation = index_manager_->TableGeneration(table);
+  CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> relation,
+                       Table(table));
+  CEJ_ASSIGN_OR_RETURN(const model::EmbeddingModel* model,
+                       ResolveColumnModel(*relation, column, model_name));
+  return index_manager_->Load(table, std::move(relation), column, model,
+                              path, generation);
+}
+
+Result<const model::EmbeddingModel*> Engine::ResolveColumnModel(
+    const storage::Relation& relation, const std::string& column,
+    const std::string& model_name) const {
+  CEJ_ASSIGN_OR_RETURN(const storage::Column* col,
+                       relation.ColumnByName(column));
+  if (col->type() != storage::DataType::kString) {
+    return static_cast<const model::EmbeddingModel*>(nullptr);
   }
-  indexes_[key] = index;
-  return Status::OK();
+  return model_name.empty() ? DefaultModel() : Model(model_name);
 }
 
 Result<std::shared_ptr<const storage::Relation>> Engine::Table(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not registered");
@@ -131,6 +189,7 @@ Result<std::shared_ptr<const storage::Relation>> Engine::Table(
 
 Result<const model::EmbeddingModel*> Engine::Model(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not registered");
@@ -139,10 +198,15 @@ Result<const model::EmbeddingModel*> Engine::Model(
 }
 
 Result<const model::EmbeddingModel*> Engine::DefaultModel() const {
-  if (default_model_.empty()) {
-    return Status::NotFound("no embedding model registered");
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (default_model_.empty()) {
+      return Status::NotFound("no embedding model registered");
+    }
+    name = default_model_;
   }
-  return Model(default_model_);
+  return Model(name);
 }
 
 QueryBuilder Engine::Query(std::string table) const {
@@ -160,17 +224,11 @@ plan::ExecContext Engine::MakeExecContext() const {
   context.cost_params = cost_params_;
   context.shard_count = options_.join_shard_count;
   context.embedding_cache = embedding_cache_.get();
-  for (const auto& [key, index] : indexes_) {
-    context.indexes[key] = index;
-  }
-  // A string-key index registration also covers the optimizer-hoisted
-  // embedding column ("<column>_emb", the PrefetchEmbeddings naming).
-  // Aliases never displace an explicit registration: emplace in a second
-  // pass so "t.name_emb" registered directly beats the alias of "t.name"
-  // deterministically.
-  for (const auto& [key, index] : indexes_) {
-    context.indexes.emplace(key + "_emb", index);
-  }
+  // Plan-time snapshot: every index this query might probe is pinned via
+  // shared_ptr for the query's whole lifetime — ReplaceTable racing the
+  // execution invalidates the catalog, not this snapshot.
+  context.index_catalog = index_manager_->Snapshot();
+  context.index_manager = index_manager_.get();
   return context;
 }
 
@@ -284,6 +342,48 @@ Result<std::string> QueryBuilder::Explain() const {
   if (optimize_) {
     out += "— optimized plan —\n" + plan::PlanToString(plan::Optimize(naive));
   }
+  // Index-catalog availability per join key: the other half of the
+  // scan-vs-probe story (ExecStats carries the counters after a run;
+  // this shows the state BEFORE one).
+  std::string catalog;
+  auto snapshot = engine_->index_manager()->Snapshot();
+  for (const Step& step : steps_) {
+    if (step.kind != Step::Kind::kEJoin) continue;
+    auto right = engine_->Table(step.right_table);
+    if (!right.ok()) continue;
+    auto right_field = (*right)->schema().FieldIndex(step.right_key);
+    if (!right_field.ok()) continue;
+    const bool string_key =
+        (*right)->schema().field(*right_field).type ==
+        storage::DataType::kString;
+    const model::EmbeddingModel* model = nullptr;
+    if (string_key) {
+      auto resolved = step.model.empty() ? engine_->DefaultModel()
+                                         : engine_->Model(step.model);
+      if (!resolved.ok()) continue;
+      model = *resolved;
+    }
+    // The probe column the executed plan joins on: the hoisted embedding
+    // column for string keys, the stored vector column otherwise.
+    const std::string probe_column =
+        string_key ? step.right_key + "_emb" : step.right_key;
+    const index::IndexCatalogEntry* entry =
+        snapshot->Find(step.right_table, probe_column, model);
+    catalog += "  " + step.right_table + "." + step.right_key + ": ";
+    if (entry == nullptr) {
+      catalog += "no index (scan-family operators only)\n";
+    } else if (entry->external) {
+      catalog += "external index registered\n";
+    } else {
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "%s index available (built in %.3fs)\n",
+                    index::IndexFamilyName(entry->family),
+                    entry->build_seconds);
+      catalog += line;
+    }
+  }
+  if (!catalog.empty()) out += "— index catalog —\n" + catalog;
   return out;
 }
 

@@ -25,6 +25,7 @@
 #define CEJ_API_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "cej/common/status.h"
 #include "cej/common/thread_pool.h"
 #include "cej/expr/predicate.h"
+#include "cej/index/index_manager.h"
 #include "cej/index/vector_index.h"
 #include "cej/join/join_operator.h"
 #include "cej/join/join_sink.h"
@@ -52,9 +54,10 @@ struct QueryResult {
   plan::ExecStats stats;
 };
 
-/// The top-level entry point. Thread-compatible: concurrent queries are
-/// fine once registration is done; registration itself is not synchronized
-/// with running queries.
+/// The top-level entry point. Thread-safe: catalog registration (tables,
+/// models, indexes) and queries may run concurrently — queries pin the
+/// table and index state they planned against via shared_ptr snapshots,
+/// so a ReplaceTable racing a Stream never frees data mid-query.
 class Engine {
  public:
   struct Options {
@@ -69,6 +72,15 @@ class Engine {
     /// sizes shards from the pool width and the operator's shard-row
     /// floor; a fixed count pins it for experiments / bench sweeps.
     size_t join_shard_count = 0;
+    /// Auto-build policy: after this many cost-scan losses where an index
+    /// plan *would* have won (the index operator priced cheapest but no
+    /// index existed for the join key), the engine builds
+    /// `index_auto_build_options` for that (table, column, model) in the
+    /// background and atomically publishes it — the next query picks the
+    /// probe path unforced. 0 disables auto-building.
+    size_t index_auto_build_losses = 0;
+    /// What the auto-build policy constructs (family + build knobs).
+    index::IndexBuildOptions index_auto_build_options;
   };
 
   Engine();
@@ -106,8 +118,42 @@ class Engine {
   /// index covers them directly; for string keys it covers the embeddings
   /// the optimizer hoists (the "<column>_emb" output — aliased
   /// automatically). The index must have one entry per base-table row.
+  /// Prefer BuildIndex below: the engine then owns construction,
+  /// alignment and lifetime instead of trusting the caller.
   Status RegisterIndex(const std::string& table, const std::string& column,
                        const index::VectorIndex* index);
+
+  // --- Index lifecycle ---------------------------------------------------
+
+  /// Builds a vector index over `table`.`column` and publishes it in the
+  /// engine's index catalog keyed (table, column, model, family). String
+  /// key columns embed under `options.model` ("" = the default model),
+  /// serving vectors from the embedding cache when warm and embedding
+  /// pool-parallel on a miss; stored vector columns index directly.
+  /// Construction itself runs pool-parallel (HNSW per-node-locked
+  /// insertion, IVF parallel k-means assignment). Rebuilding the same key
+  /// replaces the entry atomically; in-flight queries keep probing the
+  /// index they planned against.
+  Result<index::IndexBuildStats> BuildIndex(
+      const std::string& table, const std::string& column,
+      const index::IndexBuildOptions& options = {});
+
+  /// Persists the most recent BuildIndex/LoadIndex result for
+  /// (table, column) into a family-tagged envelope at `path`.
+  Status SaveIndex(const std::string& table, const std::string& column,
+                   const std::string& path) const;
+
+  /// Loads an envelope written by SaveIndex, validates it against the
+  /// CURRENT contents of `table` (row count, dimensionality under
+  /// `model_name` for string columns), and publishes it like BuildIndex.
+  Result<index::IndexBuildStats> LoadIndex(const std::string& table,
+                                           const std::string& column,
+                                           const std::string& path,
+                                           const std::string& model_name = "");
+
+  /// The index subsystem — exposed for introspection (catalog snapshots,
+  /// build/loss counters) and the WaitForBackgroundBuilds test hook.
+  index::IndexManager* index_manager() const { return index_manager_.get(); }
 
   Result<std::shared_ptr<const storage::Relation>> Table(
       const std::string& name) const;
@@ -144,17 +190,30 @@ class Engine {
  private:
   friend class QueryBuilder;
 
+  /// The model covering `column` of `relation`: resolves `model_name`
+  /// (or the default) for string columns, nullptr for vector columns.
+  Result<const model::EmbeddingModel*> ResolveColumnModel(
+      const storage::Relation& relation, const std::string& column,
+      const std::string& model_name) const;
+
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<EmbeddingCache> embedding_cache_;
   plan::CostParams cost_params_;
 
+  /// Guards the name catalogs below. The index catalog has its own
+  /// synchronization inside the manager.
+  mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, std::shared_ptr<const storage::Relation>>
       tables_;
   std::unordered_map<std::string, const model::EmbeddingModel*> models_;
   std::vector<std::unique_ptr<const model::EmbeddingModel>> owned_models_;
   std::string default_model_;
-  std::unordered_map<std::string, const index::VectorIndex*> indexes_;
+
+  /// Declared LAST: the manager's destructor joins background index
+  /// builds, which may still be using the pool, the embedding cache and
+  /// owned models — all of which must therefore outlive it.
+  std::unique_ptr<index::IndexManager> index_manager_;
 };
 
 /// Fluent construction of a logical plan over the engine's catalog.

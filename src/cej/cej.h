@@ -27,6 +27,7 @@
 #include "cej/expr/predicate.h"
 #include "cej/index/flat_index.h"
 #include "cej/index/hnsw_index.h"
+#include "cej/index/index_manager.h"
 #include "cej/index/ivf_index.h"
 #include "cej/join/join_common.h"
 #include "cej/join/join_cost.h"

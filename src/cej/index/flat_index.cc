@@ -1,21 +1,31 @@
 #include "cej/index/flat_index.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "cej/la/matrix_io.h"
 
 namespace cej::index {
 
 FlatIndex::FlatIndex(la::Matrix vectors, la::SimdMode simd)
-    : vectors_(std::move(vectors)), simd_(simd) {}
+    : FlatIndex(std::make_shared<const la::Matrix>(std::move(vectors)),
+                simd) {}
+
+FlatIndex::FlatIndex(std::shared_ptr<const la::Matrix> vectors,
+                     la::SimdMode simd)
+    : vectors_(std::move(vectors)), simd_(simd) {
+  CEJ_CHECK(vectors_ != nullptr);
+}
 
 std::vector<la::ScoredId> FlatIndex::SearchTopK(
     const float* query, size_t k, const FilterBitmap* filter) const {
-  if (k == 0 || vectors_.rows() == 0) return {};
+  if (k == 0 || vectors_->rows() == 0) return {};
   la::TopKCollector collector(k);
-  const size_t d = vectors_.cols();
+  const size_t d = vectors_->cols();
   uint64_t computations = 0;
-  for (size_t r = 0; r < vectors_.rows(); ++r) {
+  for (size_t r = 0; r < vectors_->rows(); ++r) {
     if (filter != nullptr && !(*filter)[r]) continue;
-    collector.Push(la::Dot(query, vectors_.Row(r), d, simd_), r);
+    collector.Push(la::Dot(query, vectors_->Row(r), d, simd_), r);
     ++computations;
   }
   distance_computations_.fetch_add(computations, std::memory_order_relaxed);
@@ -25,17 +35,57 @@ std::vector<la::ScoredId> FlatIndex::SearchTopK(
 std::vector<la::ScoredId> FlatIndex::SearchRange(
     const float* query, float threshold, const FilterBitmap* filter) const {
   std::vector<la::ScoredId> out;
-  const size_t d = vectors_.cols();
+  const size_t d = vectors_->cols();
   uint64_t computations = 0;
-  for (size_t r = 0; r < vectors_.rows(); ++r) {
+  for (size_t r = 0; r < vectors_->rows(); ++r) {
     if (filter != nullptr && !(*filter)[r]) continue;
-    const float sim = la::Dot(query, vectors_.Row(r), d, simd_);
+    const float sim = la::Dot(query, vectors_->Row(r), d, simd_);
     ++computations;
     if (sim >= threshold) out.push_back({sim, r});
   }
   distance_computations_.fetch_add(computations, std::memory_order_relaxed);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+namespace {
+constexpr uint32_t kFlatMagic = 0x464a4543;  // "CEJF"
+constexpr uint32_t kFlatVersion = 1;
+}  // namespace
+
+Status FlatIndex::SaveTo(serde::Writer& writer) const {
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kFlatMagic));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kFlatVersion));
+  return la::WriteMatrixTo(writer, *vectors_);
+}
+
+Status FlatIndex::Save(const std::string& path) const {
+  CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
+  return SaveTo(writer);
+}
+
+Result<std::unique_ptr<FlatIndex>> FlatIndex::LoadFrom(serde::Reader& reader,
+                                                       la::SimdMode simd) {
+  uint32_t magic = 0, version = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&magic));
+  if (magic != kFlatMagic) {
+    return Status::InvalidArgument("flat load: bad magic");
+  }
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&version));
+  if (version != kFlatVersion) {
+    return Status::InvalidArgument("flat load: unsupported version");
+  }
+  CEJ_ASSIGN_OR_RETURN(la::Matrix vectors, la::ReadMatrixFrom(reader));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("flat load: empty matrix");
+  }
+  return std::make_unique<FlatIndex>(std::move(vectors), simd);
+}
+
+Result<std::unique_ptr<FlatIndex>> FlatIndex::Load(const std::string& path,
+                                                   la::SimdMode simd) {
+  CEJ_ASSIGN_OR_RETURN(serde::Reader reader, serde::Reader::Open(path));
+  return LoadFrom(reader, simd);
 }
 
 }  // namespace cej::index

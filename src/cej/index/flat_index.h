@@ -5,7 +5,11 @@
 #define CEJ_INDEX_FLAT_INDEX_H_
 
 #include <atomic>
+#include <memory>
+#include <string>
 
+#include "cej/common/serde.h"
+#include "cej/common/status.h"
 #include "cej/la/matrix.h"
 #include "cej/la/simd.h"
 #include "cej/index/vector_index.h"
@@ -18,9 +22,13 @@ class FlatIndex final : public VectorIndex {
   /// Takes ownership of `vectors` (one unit vector per row).
   explicit FlatIndex(la::Matrix vectors,
                      la::SimdMode simd = la::SimdMode::kAuto);
+  /// Zero-copy form: shares an existing matrix (e.g. a cached column
+  /// embedding) instead of cloning it — the flat index only reads.
+  explicit FlatIndex(std::shared_ptr<const la::Matrix> vectors,
+                     la::SimdMode simd = la::SimdMode::kAuto);
 
-  size_t dim() const override { return vectors_.cols(); }
-  size_t size() const override { return vectors_.rows(); }
+  size_t dim() const override { return vectors_->cols(); }
+  size_t size() const override { return vectors_->rows(); }
 
   std::vector<la::ScoredId> SearchTopK(
       const float* query, size_t k,
@@ -37,8 +45,17 @@ class FlatIndex final : public VectorIndex {
     distance_computations_.store(0, std::memory_order_relaxed);
   }
 
+  /// Persists the vector matrix ("CEJF" binary format). SaveTo/LoadFrom
+  /// nest inside a larger stream (the IndexManager envelope).
+  Status Save(const std::string& path) const;
+  Status SaveTo(serde::Writer& writer) const;
+  static Result<std::unique_ptr<FlatIndex>> Load(
+      const std::string& path, la::SimdMode simd = la::SimdMode::kAuto);
+  static Result<std::unique_ptr<FlatIndex>> LoadFrom(
+      serde::Reader& reader, la::SimdMode simd = la::SimdMode::kAuto);
+
  private:
-  la::Matrix vectors_;
+  std::shared_ptr<const la::Matrix> vectors_;
   la::SimdMode simd_;
   mutable std::atomic<uint64_t> distance_computations_{0};
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <queue>
 
 #include "cej/common/macros.h"
 #include "cej/common/serde.h"
+#include "cej/la/matrix_io.h"
 
 namespace cej::index {
 namespace {
@@ -30,9 +32,19 @@ VisitedScratch& GetScratch(size_t n) {
 
 }  // namespace
 
+/// Per-node neighbour-list locks plus the global entry-point lock. Exists
+/// only for the duration of a parallel Build; query-time searches never
+/// lock (the graph is immutable once built).
+struct HnswIndex::BuildSync {
+  explicit BuildSync(size_t n) : node_locks(new std::mutex[n]) {}
+  std::unique_ptr<std::mutex[]> node_locks;
+  std::mutex entry_mu;
+};
+
 Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(la::Matrix vectors,
                                                     HnswBuildOptions options,
-                                                    la::SimdMode simd) {
+                                                    la::SimdMode simd,
+                                                    ThreadPool* pool) {
   if (vectors.rows() == 0) {
     return Status::InvalidArgument("hnsw: cannot index an empty matrix");
   }
@@ -44,10 +56,36 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(la::Matrix vectors,
   }
   std::unique_ptr<HnswIndex> index(
       new HnswIndex(std::move(vectors), options, simd));
-  Rng level_rng(options.seed);
   const uint32_t n = static_cast<uint32_t>(index->vectors_.rows());
+  // Levels are always drawn sequentially from the seeded stream (one draw
+  // per node, insertion order) so the level structure — and the whole
+  // graph on the pool-less path — is seed-reproducible.
+  Rng level_rng(options.seed);
+  std::vector<size_t> levels(n);
   for (uint32_t node = 0; node < n; ++node) {
-    index->Insert(node, level_rng);
+    const double u = std::max(level_rng.NextDouble(), 1e-12);
+    levels[node] = static_cast<size_t>(-std::log(u) * index->level_lambda_);
+  }
+  if (pool == nullptr || n < 2) {
+    for (uint32_t node = 0; node < n; ++node) {
+      index->Insert(node, levels[node], nullptr);
+    }
+  } else {
+    // Pre-size every node's level lists up front: concurrent inserts then
+    // only mutate inner neighbour vectors, each behind its node's lock.
+    for (uint32_t node = 0; node < n; ++node) {
+      index->links_[node].resize(levels[node] + 1);
+    }
+    index->Insert(0, levels[0], nullptr);  // Entry-point seed.
+    BuildSync sync(n);
+    pool->ParallelForRange(
+        1, n,
+        [&](size_t begin, size_t end) {
+          for (size_t node = begin; node < end; ++node) {
+            index->Insert(static_cast<uint32_t>(node), levels[node], &sync);
+          }
+        },
+        /*min_chunk=*/8);
   }
   index->ResetStats();  // Construction distance counts are not probe costs.
   return index;
@@ -68,13 +106,24 @@ float HnswIndex::Similarity(const float* query, uint32_t id) const {
 }
 
 uint32_t HnswIndex::GreedyStep(const float* query, uint32_t entry,
-                               size_t level) const {
+                               size_t level, BuildSync* sync) const {
   uint32_t current = entry;
   float current_sim = Similarity(query, current);
+  std::vector<uint32_t> copied;  // Scratch for the locked read.
   bool improved = true;
   while (improved) {
     improved = false;
-    for (uint32_t neighbor : links_[current][level]) {
+    const std::vector<uint32_t>* neighbors;
+    if (sync != nullptr) {
+      // Parallel construction: the list may be mutated concurrently —
+      // copy it under the owning node's lock and walk the copy.
+      std::lock_guard<std::mutex> lock(sync->node_locks[current]);
+      copied = links_[current][level];
+      neighbors = &copied;
+    } else {
+      neighbors = &links_[current][level];
+    }
+    for (uint32_t neighbor : *neighbors) {
       const float sim = Similarity(query, neighbor);
       if (sim > current_sim) {
         current_sim = sim;
@@ -88,7 +137,8 @@ uint32_t HnswIndex::GreedyStep(const float* query, uint32_t entry,
 
 std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
     const float* query, uint32_t entry, size_t ef, size_t level,
-    std::vector<uint32_t>* visited_epoch, uint32_t epoch) const {
+    std::vector<uint32_t>* visited_epoch, uint32_t epoch,
+    BuildSync* sync) const {
   auto& visited = *visited_epoch;
 
   // Frontier ordered best-first; results ordered worst-first so the top is
@@ -111,11 +161,20 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
   frontier.push({entry_sim, entry});
   results.push({entry_sim, entry});
 
+  std::vector<uint32_t> copied;  // Scratch for locked reads (build only).
   while (!frontier.empty()) {
     const Candidate best = frontier.top();
     frontier.pop();
     if (results.size() >= ef && best.sim < results.top().sim) break;
-    for (uint32_t neighbor : links_[best.id][level]) {
+    const std::vector<uint32_t>* neighbors;
+    if (sync != nullptr) {
+      std::lock_guard<std::mutex> lock(sync->node_locks[best.id]);
+      copied = links_[best.id][level];
+      neighbors = &copied;
+    } else {
+      neighbors = &links_[best.id][level];
+    }
+    for (uint32_t neighbor : *neighbors) {
       if (visited[neighbor] == epoch) continue;
       visited[neighbor] = epoch;
       const float sim = Similarity(query, neighbor);
@@ -182,12 +241,10 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
   return selected;
 }
 
-void HnswIndex::Insert(uint32_t node, Rng& level_rng) {
-  // Exponentially-distributed level (Algorithm 1 line 4).
-  const double u = std::max(level_rng.NextDouble(), 1e-12);
-  const size_t level =
-      static_cast<size_t>(-std::log(u) * level_lambda_);
-  links_[node].resize(level + 1);
+void HnswIndex::Insert(uint32_t node, size_t level, BuildSync* sync) {
+  // Parallel builds pre-size every node's level lists before fanning out;
+  // only the sequential path grows them here.
+  if (sync == nullptr) links_[node].resize(level + 1);
 
   if (node == 0) {
     entry_point_ = 0;
@@ -195,20 +252,36 @@ void HnswIndex::Insert(uint32_t node, Rng& level_rng) {
     return;
   }
 
-  const float* query = vectors_.Row(node);
-  uint32_t entry = entry_point_;
-
-  // Phase 1: greedy descent through levels above the node's level.
-  for (size_t l = max_level_; l > level && l > 0; --l) {
-    entry = GreedyStep(query, entry, l);
+  // Snapshot the entry point. Nodes that RAISE the top level hold the
+  // entry lock across their whole insert (geometrically rare), so the
+  // final entry_point_/max_level_ publication is atomic with the linking;
+  // everyone else releases it immediately.
+  uint32_t entry;
+  size_t top;
+  std::unique_lock<std::mutex> entry_lock;
+  if (sync != nullptr) {
+    entry_lock = std::unique_lock<std::mutex>(sync->entry_mu);
+    entry = entry_point_;
+    top = max_level_;
+    if (level <= top) entry_lock.unlock();
+  } else {
+    entry = entry_point_;
+    top = max_level_;
   }
 
-  // Phase 2: beam search and connect at each level from min(max_level_,
-  // level) down to 0.
+  const float* query = vectors_.Row(node);
+
+  // Phase 1: greedy descent through levels above the node's level.
+  for (size_t l = top; l > level && l > 0; --l) {
+    entry = GreedyStep(query, entry, l, sync);
+  }
+
+  // Phase 2: beam search and connect at each level from min(top, level)
+  // down to 0.
   auto& scratch = GetScratch(vectors_.rows());
-  for (size_t l = std::min(max_level_, level);; --l) {
+  for (size_t l = std::min(top, level);; --l) {
     auto candidates = SearchLayer(query, entry, options_.ef_construction, l,
-                                  &scratch.visited, scratch.epoch);
+                                  &scratch.visited, scratch.epoch, sync);
     // New epoch for the next layer's search.
     ++scratch.epoch;
     if (scratch.epoch == 0) {
@@ -224,11 +297,52 @@ void HnswIndex::Insert(uint32_t node, Rng& level_rng) {
       }
     }
     auto selected = SelectNeighbors(node, candidates, options_.m);
-    links_[node][l] = selected;
-    // Bidirectional links, shrinking overflowing neighbours with the same
-    // selection rule.
     const size_t max_degree = MaxDegree(l);
+    {
+      std::unique_lock<std::mutex> self_lock;
+      if (sync != nullptr) {
+        self_lock = std::unique_lock<std::mutex>(sync->node_locks[node]);
+      }
+      // MERGE rather than overwrite: once this node is linked at an upper
+      // layer it can serve as another insert's entry into THIS layer, so
+      // a concurrent backlink may already sit in the list — overwriting
+      // would orphan the other node's reverse edge (parallel builds only;
+      // the sequential list is always empty here). The backlink loop
+      // below walks only the fresh selection: merged entries already hold
+      // their reverse edge by construction.
+      auto& own = links_[node][l];
+      std::vector<uint32_t> merged = selected;
+      for (uint32_t existing : own) {
+        if (std::find(merged.begin(), merged.end(), existing) ==
+            merged.end()) {
+          merged.push_back(existing);
+        }
+      }
+      if (merged.size() > max_degree) {
+        // The merge can push past the degree bound (selection + up to
+        // max_degree concurrent backlinks); re-shrink with the same rule
+        // the backlink overflow path uses, so the invariant holds for
+        // every node the moment its insert completes.
+        std::vector<Candidate> mcand;
+        mcand.reserve(merged.size());
+        for (uint32_t mm : merged) {
+          mcand.push_back({la::Dot(vectors_.Row(node), vectors_.Row(mm),
+                                   vectors_.cols(), simd_),
+                           mm});
+        }
+        merged = SelectNeighbors(node, std::move(mcand), max_degree);
+      }
+      own = std::move(merged);
+    }
+    // Bidirectional links, shrinking overflowing neighbours with the same
+    // selection rule. At most one node lock is held at a time, so the
+    // per-node discipline cannot deadlock.
     for (uint32_t neighbor : selected) {
+      std::unique_lock<std::mutex> neighbor_lock;
+      if (sync != nullptr) {
+        neighbor_lock =
+            std::unique_lock<std::mutex>(sync->node_locks[neighbor]);
+      }
       auto& nlinks = links_[neighbor][l];
       nlinks.push_back(node);
       if (nlinks.size() > max_degree) {
@@ -246,7 +360,9 @@ void HnswIndex::Insert(uint32_t node, Rng& level_rng) {
     if (l == 0) break;
   }
 
-  if (level > max_level_) {
+  if (level > top) {
+    // Still holding the entry lock on the parallel path (see above), so
+    // the read-check-update is race-free.
     max_level_ = level;
     entry_point_ = node;
   }
@@ -294,6 +410,10 @@ constexpr uint32_t kHnswVersion = 1;
 
 Status HnswIndex::Save(const std::string& path) const {
   CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
+  return SaveTo(writer);
+}
+
+Status HnswIndex::SaveTo(serde::Writer& writer) const {
   CEJ_RETURN_IF_ERROR(writer.WritePod(kHnswMagic));
   CEJ_RETURN_IF_ERROR(writer.WritePod(kHnswVersion));
   CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(options_.m));
@@ -303,10 +423,7 @@ Status HnswIndex::Save(const std::string& path) const {
       writer.WritePod<uint8_t>(options_.select_heuristic ? 1 : 0));
   CEJ_RETURN_IF_ERROR(writer.WritePod<uint32_t>(entry_point_));
   CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(max_level_));
-  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(vectors_.rows()));
-  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(vectors_.cols()));
-  CEJ_RETURN_IF_ERROR(
-      writer.WriteBytes(vectors_.data(), vectors_.size() * sizeof(float)));
+  CEJ_RETURN_IF_ERROR(la::WriteMatrixTo(writer, vectors_));
   for (const auto& node_links : links_) {
     CEJ_RETURN_IF_ERROR(
         writer.WritePod<uint64_t>(node_links.size()));
@@ -321,11 +438,15 @@ Status HnswIndex::Save(const std::string& path) const {
 Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(const std::string& path,
                                                    la::SimdMode simd) {
   CEJ_ASSIGN_OR_RETURN(serde::Reader reader, serde::Reader::Open(path));
+  return LoadFrom(reader, simd);
+}
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFrom(serde::Reader& reader,
+                                                       la::SimdMode simd) {
   uint32_t magic = 0, version = 0;
   CEJ_RETURN_IF_ERROR(reader.ReadPod(&magic));
   if (magic != kHnswMagic) {
-    return Status::InvalidArgument("hnsw load: bad magic in '" + path +
-                                   "'");
+    return Status::InvalidArgument("hnsw load: bad magic");
   }
   CEJ_RETURN_IF_ERROR(reader.ReadPod(&version));
   if (version != kHnswVersion) {
@@ -344,17 +465,14 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(const std::string& path,
   options.select_heuristic = heuristic != 0;
 
   uint32_t entry_point = 0;
-  uint64_t max_level = 0, rows = 0, cols = 0;
+  uint64_t max_level = 0;
   CEJ_RETURN_IF_ERROR(reader.ReadPod(&entry_point));
   CEJ_RETURN_IF_ERROR(reader.ReadPod(&max_level));
-  CEJ_RETURN_IF_ERROR(reader.ReadPod(&rows));
-  CEJ_RETURN_IF_ERROR(reader.ReadPod(&cols));
-  if (rows == 0 || cols == 0 || rows * cols > (1ull << 33)) {
-    return Status::OutOfRange("hnsw load: implausible shape");
+  CEJ_ASSIGN_OR_RETURN(la::Matrix vectors, la::ReadMatrixFrom(reader));
+  if (vectors.empty()) {
+    return Status::InvalidArgument("hnsw load: empty matrix");
   }
-  la::Matrix vectors(rows, cols);
-  CEJ_RETURN_IF_ERROR(
-      reader.ReadBytes(vectors.data(), vectors.size() * sizeof(float)));
+  const uint64_t rows = vectors.rows();
 
   std::unique_ptr<HnswIndex> index(
       new HnswIndex(std::move(vectors), options, simd));

@@ -13,10 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cej/common/rng.h"
+#include "cej/common/serde.h"
 #include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
 #include "cej/la/matrix.h"
 #include "cej/la/simd.h"
 #include "cej/index/vector_index.h"
@@ -59,9 +62,18 @@ class HnswIndex final : public VectorIndex {
  public:
   /// Builds the graph over `vectors` (one unit vector per row). Fails on an
   /// empty matrix or m < 2.
+  ///
+  /// With a pool, nodes are inserted concurrently behind a per-node lock
+  /// discipline (every neighbour-list read or write during construction
+  /// locks that node; the entry point is guarded globally, held across a
+  /// whole insert only for the geometrically rare nodes that raise the top
+  /// level). Level assignment is always drawn sequentially from the seeded
+  /// RNG, so the level structure is reproducible; the edge sets of a
+  /// parallel build depend on insertion interleaving (the index stays
+  /// approximate either way). A pool-less build is bit-deterministic.
   static Result<std::unique_ptr<HnswIndex>> Build(
       la::Matrix vectors, HnswBuildOptions options = {},
-      la::SimdMode simd = la::SimdMode::kAuto);
+      la::SimdMode simd = la::SimdMode::kAuto, ThreadPool* pool = nullptr);
 
   size_t dim() const override { return vectors_.cols(); }
   size_t size() const override { return vectors_.rows(); }
@@ -84,6 +96,7 @@ class HnswIndex final : public VectorIndex {
 
   /// Beam used by SearchRange's top-k mechanism (paper uses k = 32).
   void set_range_probe_k(size_t k) { range_probe_k_ = k; }
+  size_t range_probe_k() const { return range_probe_k_; }
 
   uint64_t distance_computations() const override {
     return distance_computations_.load(std::memory_order_relaxed);
@@ -98,12 +111,16 @@ class HnswIndex final : public VectorIndex {
 
   /// Persists the vectors + graph to `path` ("CEJH" binary format), so
   /// the construction cost (the dominant index cost, Table I) is paid
-  /// once across runs.
+  /// once across runs. SaveTo/LoadFrom nest inside a larger stream (the
+  /// IndexManager envelope).
   Status Save(const std::string& path) const;
+  Status SaveTo(serde::Writer& writer) const;
 
   /// Restores an index previously written by Save.
   static Result<std::unique_ptr<HnswIndex>> Load(
       const std::string& path, la::SimdMode simd = la::SimdMode::kAuto);
+  static Result<std::unique_ptr<HnswIndex>> LoadFrom(
+      serde::Reader& reader, la::SimdMode simd = la::SimdMode::kAuto);
 
  private:
   HnswIndex(la::Matrix vectors, HnswBuildOptions options, la::SimdMode simd);
@@ -113,25 +130,34 @@ class HnswIndex final : public VectorIndex {
     uint32_t id;
   };
 
+  /// Construction-time synchronization (parallel builds only): one mutex
+  /// per node guarding its neighbour lists, plus the entry-point lock.
+  struct BuildSync;
+
   float Similarity(const float* query, uint32_t id) const;
 
   /// Greedy descent at one level: returns the local similarity maximum
-  /// starting from `entry`.
-  uint32_t GreedyStep(const float* query, uint32_t entry, size_t level) const;
+  /// starting from `entry`. `sync` non-null = copy neighbour lists under
+  /// the owning node's lock (parallel construction).
+  uint32_t GreedyStep(const float* query, uint32_t entry, size_t level,
+                      BuildSync* sync = nullptr) const;
 
   /// Beam search at one level (Algorithm 2): returns up to `ef` closest
   /// nodes to `query`, unsorted. `visited` is caller-provided scratch.
   std::vector<Candidate> SearchLayer(const float* query, uint32_t entry,
                                      size_t ef, size_t level,
                                      std::vector<uint32_t>* visited_epoch,
-                                     uint32_t epoch) const;
+                                     uint32_t epoch,
+                                     BuildSync* sync = nullptr) const;
 
   /// Neighbour selection (Algorithm 4 when select_heuristic, else top-M).
   std::vector<uint32_t> SelectNeighbors(uint32_t node,
                                         std::vector<Candidate> candidates,
                                         size_t m) const;
 
-  void Insert(uint32_t node, Rng& level_rng);
+  /// Inserts `node` at the precomputed `level`. With `sync`, safe to call
+  /// concurrently for distinct nodes (links_ must be pre-sized).
+  void Insert(uint32_t node, size_t level, BuildSync* sync);
 
   size_t MaxDegree(size_t level) const {
     return level == 0 ? 2 * options_.m : options_.m;

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "cej/common/macros.h"
+#include "cej/la/matrix_io.h"
 #include "cej/la/topk.h"
 
 namespace cej::index {
 
 Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::Build(
-    la::Matrix vectors, IvfBuildOptions options, la::SimdMode simd) {
+    la::Matrix vectors, IvfBuildOptions options, la::SimdMode simd,
+    ThreadPool* pool) {
   if (vectors.rows() == 0) {
     return Status::InvalidArgument("ivf: cannot index an empty matrix");
   }
@@ -20,6 +22,7 @@ Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::Build(
   kopts.max_iters = options.train_iters;
   kopts.seed = options.seed;
   kopts.simd = simd;
+  kopts.pool = pool;
   CEJ_ASSIGN_OR_RETURN(KMeansResult trained,
                        SphericalKMeans(vectors, kopts));
   std::vector<std::vector<uint32_t>> lists(trained.centroids.rows());
@@ -76,6 +79,79 @@ std::vector<la::ScoredId> IvfFlatIndex::SearchTopK(
   distance_computations_.fetch_add(computations,
                                    std::memory_order_relaxed);
   return collector.TakeSorted();
+}
+
+namespace {
+constexpr uint32_t kIvfMagic = 0x494a4543;  // "CEJI"
+constexpr uint32_t kIvfVersion = 1;
+}  // namespace
+
+Status IvfFlatIndex::SaveTo(serde::Writer& writer) const {
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kIvfMagic));
+  CEJ_RETURN_IF_ERROR(writer.WritePod(kIvfVersion));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(nprobe_));
+  CEJ_RETURN_IF_ERROR(la::WriteMatrixTo(writer, vectors_));
+  CEJ_RETURN_IF_ERROR(la::WriteMatrixTo(writer, centroids_));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(lists_.size()));
+  for (const auto& list : lists_) {
+    CEJ_RETURN_IF_ERROR(writer.WriteArray(list.data(), list.size()));
+  }
+  return Status::OK();
+}
+
+Status IvfFlatIndex::Save(const std::string& path) const {
+  CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
+  return SaveTo(writer);
+}
+
+Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::LoadFrom(
+    serde::Reader& reader, la::SimdMode simd) {
+  uint32_t magic = 0, version = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&magic));
+  if (magic != kIvfMagic) {
+    return Status::InvalidArgument("ivf load: bad magic");
+  }
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&version));
+  if (version != kIvfVersion) {
+    return Status::InvalidArgument("ivf load: unsupported version");
+  }
+  uint64_t nprobe = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&nprobe));
+  CEJ_ASSIGN_OR_RETURN(la::Matrix vectors, la::ReadMatrixFrom(reader));
+  CEJ_ASSIGN_OR_RETURN(la::Matrix centroids, la::ReadMatrixFrom(reader));
+  if (vectors.empty() || centroids.empty()) {
+    return Status::InvalidArgument("ivf load: empty matrix");
+  }
+  uint64_t nlist = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&nlist));
+  if (nlist != centroids.rows()) {
+    return Status::InvalidArgument("ivf load: list/centroid count mismatch");
+  }
+  std::vector<std::vector<uint32_t>> lists(nlist);
+  size_t members = 0;
+  for (auto& list : lists) {
+    CEJ_RETURN_IF_ERROR(reader.ReadArray(&list, vectors.rows()));
+    for (uint32_t id : list) {
+      if (id >= vectors.rows()) {
+        return Status::OutOfRange("ivf load: list member out of range");
+      }
+    }
+    members += list.size();
+  }
+  if (members != vectors.rows()) {
+    return Status::InvalidArgument(
+        "ivf load: lists do not partition the vectors");
+  }
+  std::unique_ptr<IvfFlatIndex> index(new IvfFlatIndex(
+      std::move(vectors), std::move(centroids), std::move(lists), simd));
+  index->set_nprobe(std::max<uint64_t>(nprobe, 1));
+  return index;
+}
+
+Result<std::unique_ptr<IvfFlatIndex>> IvfFlatIndex::Load(
+    const std::string& path, la::SimdMode simd) {
+  CEJ_ASSIGN_OR_RETURN(serde::Reader reader, serde::Reader::Open(path));
+  return LoadFrom(reader, simd);
 }
 
 std::vector<la::ScoredId> IvfFlatIndex::SearchRange(

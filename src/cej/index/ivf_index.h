@@ -15,9 +15,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "cej/common/serde.h"
 #include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
 #include "cej/index/kmeans.h"
 #include "cej/index/vector_index.h"
 #include "cej/la/matrix.h"
@@ -35,10 +38,12 @@ struct IvfBuildOptions {
 /// Inverted-file index with flat (uncompressed) lists.
 class IvfFlatIndex final : public VectorIndex {
  public:
-  /// Builds over `vectors` (one unit vector per row).
+  /// Builds over `vectors` (one unit vector per row). With a pool, the
+  /// k-means assignment pass (the training hot loop) fans out across it;
+  /// `options.seed` makes the clustering bit-identical either way.
   static Result<std::unique_ptr<IvfFlatIndex>> Build(
       la::Matrix vectors, IvfBuildOptions options = {},
-      la::SimdMode simd = la::SimdMode::kAuto);
+      la::SimdMode simd = la::SimdMode::kAuto, ThreadPool* pool = nullptr);
 
   size_t dim() const override { return vectors_.cols(); }
   size_t size() const override { return vectors_.rows(); }
@@ -70,6 +75,16 @@ class IvfFlatIndex final : public VectorIndex {
   const std::vector<uint32_t>& ListOf(size_t c) const {
     return lists_.at(c);
   }
+
+  /// Persists vectors + centroids + inverted lists ("CEJI" binary format)
+  /// so the k-means training cost is paid once across runs. SaveTo/LoadFrom
+  /// nest inside a larger stream (the IndexManager envelope).
+  Status Save(const std::string& path) const;
+  Status SaveTo(serde::Writer& writer) const;
+  static Result<std::unique_ptr<IvfFlatIndex>> Load(
+      const std::string& path, la::SimdMode simd = la::SimdMode::kAuto);
+  static Result<std::unique_ptr<IvfFlatIndex>> LoadFrom(
+      serde::Reader& reader, la::SimdMode simd = la::SimdMode::kAuto);
 
  private:
   IvfFlatIndex(la::Matrix vectors, la::Matrix centroids,

@@ -1,6 +1,7 @@
 #include "cej/index/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "cej/common/rng.h"
@@ -35,26 +36,38 @@ Result<KMeansResult> SphericalKMeans(const la::Matrix& data,
   }
   result.assignment.assign(n, 0);
 
-  // Nearest-centroid pass; returns whether any assignment changed.
+  // Nearest-centroid pass; returns whether any assignment changed. Rows
+  // are independent, so the pass fans out over the pool when one is
+  // supplied — assignments (and therefore the whole clustering) are
+  // bit-identical either way.
   auto assign = [&](size_t k_now) {
-    bool changed = false;
-    for (size_t r = 0; r < n; ++r) {
-      uint32_t best = 0;
-      float best_sim = -2.0f;
-      for (size_t c = 0; c < k_now; ++c) {
-        const float sim = la::Dot(data.Row(r), result.centroids.Row(c),
-                                  dim, options.simd);
-        if (sim > best_sim) {
-          best_sim = sim;
-          best = static_cast<uint32_t>(c);
+    std::atomic<bool> changed{false};
+    auto assign_rows = [&](size_t row_begin, size_t row_end) {
+      bool local_changed = false;
+      for (size_t r = row_begin; r < row_end; ++r) {
+        uint32_t best = 0;
+        float best_sim = -2.0f;
+        for (size_t c = 0; c < k_now; ++c) {
+          const float sim = la::Dot(data.Row(r), result.centroids.Row(c),
+                                    dim, options.simd);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<uint32_t>(c);
+          }
+        }
+        if (result.assignment[r] != best) {
+          result.assignment[r] = best;
+          local_changed = true;
         }
       }
-      if (result.assignment[r] != best) {
-        result.assignment[r] = best;
-        changed = true;
-      }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    };
+    if (options.pool != nullptr && n > 1) {
+      options.pool->ParallelForRange(0, n, assign_rows, /*min_chunk=*/64);
+    } else {
+      assign_rows(0, n);
     }
-    return changed;
+    return changed.load(std::memory_order_relaxed);
   };
 
   std::vector<double> sums(k * dim);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cej/common/status.h"
+#include "cej/common/thread_pool.h"
 #include "cej/la/matrix.h"
 #include "cej/la/simd.h"
 
@@ -21,8 +22,16 @@ namespace cej::index {
 struct KMeansOptions {
   size_t clusters = 64;
   size_t max_iters = 10;
+  /// Seeds BOTH stochastic steps — the initial partial-Fisher-Yates
+  /// centroid draw and dead-centroid reseeding — so a fixed seed yields a
+  /// bit-identical clustering (the IVF catalog keys rely on this).
   uint64_t seed = 5;
   la::SimdMode simd = la::SimdMode::kAuto;
+  /// Parallelizes the assignment pass (the O(n·k·d) hot loop) across the
+  /// pool. Per-row assignments are independent, so the result is
+  /// bit-identical to the sequential pass; the centroid update stays
+  /// sequential to keep the floating-point reduction order fixed.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result: centroid matrix (clusters x dim, unit rows) and per-row

@@ -4,6 +4,17 @@
 // [is] equivalent to a join operation for better use of the available
 // parallelism" (Section II.A.3). Supports the Milvus-style relational
 // pre-filter bitmap the selectivity experiments (Figures 15-17) sweep.
+//
+// Parallelism uses the sharded-merge discipline of the sharded tensor
+// join, applied to the LEFT probe batch: contiguous left-row shards run
+// concurrently on the pool and fan into ONE locked sink (SinkFeed), with
+// cooperative early termination biting at probe granularity. Every left
+// row's matches come from a single probe inside a single shard, so the
+// top-k merge degenerates — no cross-shard re-collection pass is needed —
+// and results are byte-identical across shard counts by construction.
+// Shard resolution shares ResolveShardCount with the sharded tensor join,
+// so the planner's probe-parallelism quote (ShardedIndexJoinCost) matches
+// the executed configuration.
 
 #ifndef CEJ_JOIN_INDEX_JOIN_H_
 #define CEJ_JOIN_INDEX_JOIN_H_
@@ -15,15 +26,22 @@
 
 namespace cej::join {
 
-/// Options for the index join.
+/// Options for the index join. The inherited JoinOptions::shard_count
+/// pins the left-shard count (0 = auto from the pool width and the
+/// shard-row floor).
 struct IndexJoinOptions : JoinOptions {
   /// Admissibility bitmap over the indexed (right) relation, or nullptr.
   /// Entries failing the bitmap never reach the result set, but the
   /// traversal cost is still paid (pre-filtering semantics).
   const index::FilterBitmap* filter = nullptr;
   /// Cap on concurrently batched probes (the paper limits concurrent index
-  /// probing to 10k); 0 = no cap beyond pool size.
+  /// probing to 10k). Shards run their probes sequentially, so this caps
+  /// the shard count; 0 = no cap beyond pool size.
   size_t max_batched_probes = 10000;
+  /// Auto-sharding floor: a probe shard never covers fewer left rows than
+  /// this. Probes are orders of magnitude heavier than sweep rows, so the
+  /// floor is far below the tensor operators' shard floor.
+  size_t min_shard_rows = 8;
 };
 
 /// Probes `right_index` once per left row. Top-k conditions map to index

@@ -12,6 +12,7 @@ JoinStats& JoinStats::operator+=(const JoinStats& other) {
   join_seconds += other.join_seconds;
   embed_overlapped_seconds += other.embed_overlapped_seconds;
   shards_used = std::max(shards_used, other.shards_used);
+  index_probe_rows += other.index_probe_rows;
   return *this;
 }
 

@@ -93,9 +93,14 @@ struct JoinStats {
   /// subset of join_seconds, reported so the hidden embedding is visible
   /// without double-counting it in component sums.
   double embed_overlapped_seconds = 0.0;
-  /// Right-relation shards the join ran over (sharded operators; 0 = the
-  /// operator does not shard). Merged as a maximum, like peak buffers.
+  /// Relation shards the join ran over (sharded operators partition the
+  /// right relation; the index join partitions its LEFT probe batch;
+  /// 0 = the operator does not shard). Merged as a maximum, like peak
+  /// buffers.
   size_t shards_used = 0;
+  /// Left rows actually probed by index operators (0 for scan-family
+  /// operators; less than |R| when early termination cut probing short).
+  uint64_t index_probe_rows = 0;
 
   /// Merges counters from a sub-step: counts and times accumulate, the
   /// peak buffer and shard count are maxima across steps. Every operator

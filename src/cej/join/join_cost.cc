@@ -58,4 +58,12 @@ double IndexJoinCost(size_t m, size_t n, const CostParams& p) {
          static_cast<double>(m) * p.model;
 }
 
+double ShardedIndexJoinCost(size_t m, size_t n, size_t shards,
+                            size_t workers, const CostParams& p) {
+  const double speedup = static_cast<double>(
+      std::max<size_t>(std::min(shards, workers), 1));
+  return static_cast<double>(m) * IndexProbeCost(n, p) / speedup +
+         static_cast<double>(m) * p.model;
+}
+
 }  // namespace cej::join

@@ -81,6 +81,14 @@ double IndexProbeCost(size_t n, const CostParams& p);
 /// Cost of the index join: m probes into an n-entry index.
 double IndexJoinCost(size_t m, size_t n, const CostParams& p);
 
+/// Cost of the index join executed over `shards` left-row probe shards on
+/// `workers` threads: the left embedding is unchanged, the probe batch
+/// divides by the REAL parallelism min(shards, workers). Probes are
+/// independent per left row (no cross-shard merge term), so this is
+/// exactly IndexJoinCost at shards == 1 or workers == 1.
+double ShardedIndexJoinCost(size_t m, size_t n, size_t shards,
+                            size_t workers, const CostParams& p);
+
 /// A workload descriptor an operator prices itself against: the shape the
 /// planner knows *before* running anything. `right_rows` is the base
 /// (pre-filter) size of S — also the size of any index over it;

@@ -254,7 +254,15 @@ class IndexJoinOperator : public JoinOperator {
     probe_params.probe_ef = std::max<size_t>(
         1, static_cast<size_t>(static_cast<double>(p.probe_ef) *
                                beam_factor));
-    return IndexJoinCost(w.left_rows, w.right_rows, probe_params);
+    // Probe parallelism is priced through the SAME shard resolver Run()
+    // executes (left-row shards on the pool), so the quote matches the
+    // configuration — catalog-backed plans win unforced exactly when the
+    // parallel probe batch beats the parallel sweep.
+    const size_t shards =
+        ResolveShardCount(w.left_rows, w.pool_threads, w.shard_count,
+                          IndexJoinOptions{}.min_shard_rows);
+    return ShardedIndexJoinCost(w.left_rows, w.right_rows, shards,
+                                w.pool_threads, probe_params);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,

@@ -10,13 +10,32 @@ constexpr uint32_t kVersion = 1;
 
 }  // namespace
 
+Status WriteMatrixTo(serde::Writer& writer, const Matrix& matrix) {
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.rows()));
+  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.cols()));
+  return writer.WriteBytes(matrix.data(), matrix.size() * sizeof(float));
+}
+
+Result<Matrix> ReadMatrixFrom(serde::Reader& reader) {
+  uint64_t rows = 0, cols = 0;
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&rows));
+  CEJ_RETURN_IF_ERROR(reader.ReadPod(&cols));
+  // Divide, don't multiply: rows * cols can wrap uint64 on a corrupt
+  // length field and defeat the bound.
+  if (cols != 0 && rows > (1ull << 33) / cols) {
+    return Status::OutOfRange("matrix load: implausible shape");
+  }
+  Matrix out(rows, cols);
+  CEJ_RETURN_IF_ERROR(
+      reader.ReadBytes(out.data(), out.size() * sizeof(float)));
+  return out;
+}
+
 Status SaveMatrix(const Matrix& matrix, const std::string& path) {
   CEJ_ASSIGN_OR_RETURN(serde::Writer writer, serde::Writer::Open(path));
   CEJ_RETURN_IF_ERROR(writer.WritePod(kMagic));
   CEJ_RETURN_IF_ERROR(writer.WritePod(kVersion));
-  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.rows()));
-  CEJ_RETURN_IF_ERROR(writer.WritePod<uint64_t>(matrix.cols()));
-  return writer.WriteBytes(matrix.data(), matrix.size() * sizeof(float));
+  return WriteMatrixTo(writer, matrix);
 }
 
 Result<Matrix> LoadMatrix(const std::string& path) {
@@ -32,16 +51,7 @@ Result<Matrix> LoadMatrix(const std::string& path) {
     return Status::InvalidArgument("matrix load: unsupported version " +
                                    std::to_string(version));
   }
-  uint64_t rows = 0, cols = 0;
-  CEJ_RETURN_IF_ERROR(reader.ReadPod(&rows));
-  CEJ_RETURN_IF_ERROR(reader.ReadPod(&cols));
-  if (rows * cols > (1ull << 33)) {
-    return Status::OutOfRange("matrix load: implausible shape");
-  }
-  Matrix out(rows, cols);
-  CEJ_RETURN_IF_ERROR(
-      reader.ReadBytes(out.data(), out.size() * sizeof(float)));
-  return out;
+  return ReadMatrixFrom(reader);
 }
 
 }  // namespace cej::la

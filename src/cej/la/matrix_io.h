@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "cej/common/serde.h"
 #include "cej/common/status.h"
 #include "cej/la/matrix.h"
 
@@ -16,6 +17,13 @@ Status SaveMatrix(const Matrix& matrix, const std::string& path);
 
 /// Reads a matrix previously written by SaveMatrix.
 Result<Matrix> LoadMatrix(const std::string& path);
+
+/// Nested form shared by every matrix-bearing serde format (the "CEJM"
+/// file above, index envelopes): rows (u64), cols (u64), row-major float
+/// payload. ReadMatrixFrom's shape guard is wrap-safe — corrupt rows/cols
+/// fields cannot overflow past the element bound.
+Status WriteMatrixTo(serde::Writer& writer, const Matrix& matrix);
+Result<Matrix> ReadMatrixFrom(serde::Reader& reader);
 
 }  // namespace cej::la
 

@@ -251,6 +251,8 @@ class PlanExecutor {
       if (stats_ != nullptr) {
         stats_->model_calls += run->model_calls;
         stats_->join_stats += *run;
+        // Mirror of the merged operator counter (single source of truth).
+        stats_->index_probe_rows = stats_->join_stats.index_probe_rows;
       }
     }
     return run;
@@ -296,16 +298,36 @@ class PlanExecutor {
     if (left_key.type() != DataType::kVector) {
       return Status::InvalidArgument("EJoin: left key is not a vector");
     }
-    // Index discovery over the probe-eligible right-subtree patterns.
+    // Index discovery over the probe-eligible right-subtree patterns:
+    // the engine-managed catalog snapshot first (shared_ptr-pinned for
+    // the whole query — a concurrent ReplaceTable cannot free a probed
+    // index), then the plan-layer borrowed map.
     const ProbePattern pattern =
         MatchProbePattern(node->right, node->right_key);
     const index::VectorIndex* idx = nullptr;
+    const index::IndexCatalogEntry* catalog_entry = nullptr;
     if (pattern.matches) {
       const std::string column = pattern.embed != nullptr
                                      ? pattern.embed->output_column
                                      : node->right_key;
-      auto it = context_.indexes.find(pattern.scan->table_name + "." + column);
-      if (it != context_.indexes.end()) idx = it->second;
+      if (context_.index_catalog != nullptr) {
+        catalog_entry = context_.index_catalog->Find(
+            pattern.scan->table_name, column,
+            pattern.embed != nullptr ? pattern.embed->model : nullptr);
+        if (catalog_entry != nullptr) idx = catalog_entry->index.get();
+        if (stats_ != nullptr) {
+          if (catalog_entry != nullptr) {
+            ++stats_->index_catalog_hits;
+          } else {
+            ++stats_->index_catalog_misses;
+          }
+        }
+      }
+      if (idx == nullptr) {
+        auto it =
+            context_.indexes.find(pattern.scan->table_name + "." + column);
+        if (it != context_.indexes.end()) idx = it->second;
+      }
     }
 
     // String-stream fusion candidacy: on streaming execution a right-side
@@ -385,8 +407,10 @@ class PlanExecutor {
             : 1;
     workload.shard_count = context_.shard_count;
 
-    CEJ_ASSIGN_OR_RETURN(const JoinOperator* op,
-                         SelectOperator(workload, idx != nullptr));
+    double chosen_cost = std::numeric_limits<double>::infinity();
+    CEJ_ASSIGN_OR_RETURN(
+        const JoinOperator* op,
+        SelectOperator(workload, idx != nullptr, &chosen_cost));
     if (stats_ != nullptr) {
       stats_->join_operator = std::string(op->Name());
       stats_->join_access_path = op->Traits().needs_index
@@ -394,7 +418,42 @@ class PlanExecutor {
                                      : AccessPath::kScan;
     }
 
+    // Auto-build feedback: an unforced cost scan ran index-less on a
+    // probe-eligible shape — if an index WOULD have priced cheaper than
+    // the winner, record the loss so the manager can build one in the
+    // background (require_exact scans are skipped: the approximate index
+    // operator could never have won them).
+    if (pattern.matches && idx == nullptr &&
+        context_.index_manager != nullptr &&
+        context_.index_catalog != nullptr &&
+        context_.force_operator.empty() && !context_.force_scan &&
+        !context_.force_probe && !context_.require_exact) {
+      auto index_op = registry_.Find("index");
+      if (index_op.ok()) {
+        join::JoinWorkload hypothetical = workload;
+        hypothetical.index_available = true;
+        const double index_cost =
+            (*index_op)->EstimateCost(hypothetical, context_.cost_params);
+        if (index_cost < chosen_cost) {
+          // The snapshot's generation pairs with the plan's relation
+          // snapshot: if the table is replaced before (or while) the
+          // auto-build runs, the build is discarded at publish instead
+          // of covering the old contents.
+          context_.index_manager->RecordIndexLoss(
+              pattern.scan->table_name, pattern.scan->relation,
+              pattern.embed != nullptr ? pattern.embed->input_column
+                                       : node->right_key,
+              pattern.embed != nullptr ? pattern.embed->model : nullptr,
+              context_.index_catalog->TableGeneration(
+                  pattern.scan->table_name));
+        }
+      }
+    }
+
     if (op->Traits().needs_index) {
+      if (stats_ != nullptr && catalog_entry != nullptr) {
+        stats_->index_build_seconds += catalog_entry->build_seconds;
+      }
       JoinInputs inputs;
       inputs.left_vectors = &left_key.vector_values();
       inputs.right_index = idx;
@@ -475,8 +534,11 @@ class PlanExecutor {
   // Registry-wide pricing: every eligible operator quotes a cost, the
   // cheapest runs. Overrides (force_operator, force_scan, force_probe)
   // bypass pricing but not eligibility checks at Run() time.
+  // `chosen_cost` receives the winner's quote (+infinity on overrides) —
+  // the auto-build loss check compares a hypothetical index plan to it.
   Result<const JoinOperator*> SelectOperator(
-      const join::JoinWorkload& workload, bool have_index) {
+      const join::JoinWorkload& workload, bool have_index,
+      double* chosen_cost) {
     // Legacy-diagnostic costs: the two canonical access paths, exposed in
     // ExecStats regardless of which operator wins.
     if (stats_ != nullptr) {
@@ -525,6 +587,7 @@ class PlanExecutor {
           "EJoin: no eligible physical operator registered for this "
           "workload");
     }
+    *chosen_cost = best_cost;
     return best;
   }
 

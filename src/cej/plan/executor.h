@@ -19,11 +19,13 @@
 #ifndef CEJ_PLAN_EXECUTOR_H_
 #define CEJ_PLAN_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "cej/common/status.h"
 #include "cej/common/thread_pool.h"
+#include "cej/index/index_manager.h"
 #include "cej/index/vector_index.h"
 #include "cej/join/join_operator.h"
 #include "cej/join/join_sink.h"
@@ -47,8 +49,19 @@ struct ExecContext {
   size_t shard_count = 0;
   /// Prebuilt vector indexes keyed by "<table>.<vector_column>" — the
   /// Embed output column for rewritten plans, or a stored vector column.
-  /// An index must cover the *base table* rows of its Scan.
+  /// An index must cover the *base table* rows of its Scan. Borrowed for
+  /// the duration of the call (plan-layer API); engine-managed queries
+  /// use `index_catalog` below instead.
   std::unordered_map<std::string, const index::VectorIndex*> indexes;
+  /// Engine-managed index catalog, snapshotted at plan time. Entries are
+  /// shared_ptr-held by the snapshot, so an invalidation racing this
+  /// query (Engine::ReplaceTable) can never free an index mid-probe.
+  /// Consulted before `indexes`; lookups are counted in ExecStats.
+  std::shared_ptr<const index::IndexCatalogSnapshot> index_catalog;
+  /// When set, the executor reports cost-scan losses (an index plan would
+  /// have won but no index existed) here — feeding the manager's
+  /// auto-build policy.
+  index::IndexManager* index_manager = nullptr;
   /// Physical operators to select from; nullptr = the global registry.
   const join::JoinOperatorRegistry* operators = nullptr;
   /// Engine-owned cache of full-column embeddings keyed by
@@ -83,6 +96,19 @@ struct ExecStats {
   /// embedding was served with zero model calls.
   uint64_t embedding_cache_hits = 0;
   uint64_t embedding_cache_misses = 0;
+  /// Index-catalog lookups made while planning probe-eligible joins
+  /// (counted only when an index catalog is configured, mirroring the
+  /// embedding-cache counters). A hit made an index plan eligible; a miss
+  /// explains why no probe path was available — and feeds the auto-build
+  /// policy.
+  uint64_t index_catalog_hits = 0;
+  uint64_t index_catalog_misses = 0;
+  /// Construction wall time of the catalog-backed indexes this plan's
+  /// probe paths ran against — the amortized cost side of the probe
+  /// decision (0 when no managed index served the plan).
+  double index_build_seconds = 0.0;
+  /// Left rows actually probed by index operators across the plan.
+  uint64_t index_probe_rows = 0;
   /// Merged operator counters across every join in the plan.
   join::JoinStats join_stats;
 };

@@ -60,6 +60,12 @@ class Column {
     CEJ_CHECK(type_ == DataType::kVector);
     return *matrix_;
   }
+  /// The shared matrix behind a vector column — readers that outlive the
+  /// column (e.g. a flat index built over it) share instead of cloning.
+  std::shared_ptr<const la::Matrix> shared_vector_values() const {
+    CEJ_CHECK(type_ == DataType::kVector);
+    return matrix_;
+  }
 
   /// Pointer to row `r` of a vector column.
   const float* VectorAt(size_t r) const {

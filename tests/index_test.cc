@@ -331,5 +331,53 @@ TEST(HnswIndexTest, ProbeCostGrowsSublinearlyWithIndexSize) {
       << "index probe should visit far fewer than all entries";
 }
 
+TEST(HnswIndexTest, ParallelBuildMatchesSequentialRecall) {
+  // Pool-parallel construction (per-node lock discipline) produces a
+  // different — but equally navigable — graph: structural invariants and
+  // recall must hold like the sequential build's.
+  la::Matrix vectors = Vectors(2000, 16, 31);
+  HnswBuildOptions options;
+  options.m = 16;
+  options.ef_construction = 100;
+  ThreadPool pool(4);
+  auto parallel = HnswIndex::Build(vectors.Clone(), options,
+                                   la::SimdMode::kAuto, &pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ((*parallel)->size(), 2000u);
+  // Degree bounds survive concurrent shrinking (every node has level 0).
+  for (uint32_t node = 0; node < 2000; node += 97) {
+    EXPECT_LE((*parallel)->NeighborsAt(node, 0).size(), 2 * options.m)
+        << "node " << node;
+  }
+
+  FlatIndex flat(vectors.Clone());
+  la::Matrix queries = Vectors(50, 16, 32);
+  (*parallel)->set_ef_search(128);
+  double recall = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    recall += RecallAtK((*parallel)->SearchTopK(queries.Row(q), 10),
+                        flat.SearchTopK(queries.Row(q), 10));
+  }
+  EXPECT_GE(recall / queries.rows(), 0.85)
+      << "parallel-built graph lost navigability";
+}
+
+TEST(FlatIndexTest, SaveLoadRoundTripsProbes) {
+  la::Matrix vectors = Vectors(300, 16, 33);
+  FlatIndex index(vectors.Clone());
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cej_flat_roundtrip.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = FlatIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), index.size());
+  EXPECT_EQ((*loaded)->dim(), index.dim());
+  la::Matrix queries = Vectors(5, 16, 34);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ((*loaded)->SearchTopK(queries.Row(q), 7),
+              index.SearchTopK(queries.Row(q), 7));
+  }
+}
+
 }  // namespace
 }  // namespace cej::index

@@ -246,5 +246,83 @@ TEST(IvfIndexTest, ThreeIndexFamiliesAgreeOnEasyQueries) {
   EXPECT_GE(agree, probes - 2);
 }
 
+// ---------------------------------------------------------------------------
+// Seed reproducibility and parallel training
+// ---------------------------------------------------------------------------
+
+// Returns all inverted lists, flattened per list, for clustering
+// comparison.
+std::vector<std::vector<uint32_t>> AllLists(const IvfFlatIndex& index) {
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t c = 0; c < index.nlist(); ++c) lists.push_back(index.ListOf(c));
+  return lists;
+}
+
+TEST(IvfIndexTest, BuildSeedIsThreadedAndReproducible) {
+  // The IvfBuildOptions seed must reach the k-means RNG: identical seeds
+  // give bit-identical clusterings, distinct seeds give distinct initial
+  // centroid draws (the catalog-key reproducibility contract).
+  la::Matrix vectors = Vectors(500, 16, 21);
+  IvfBuildOptions options;
+  options.nlist = 16;
+  options.seed = 1;
+  auto a = IvfFlatIndex::Build(vectors.Clone(), options);
+  auto b = IvfFlatIndex::Build(vectors.Clone(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(AllLists(**a), AllLists(**b));
+
+  options.seed = 2;
+  auto c = IvfFlatIndex::Build(vectors.Clone(), options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(AllLists(**a), AllLists(**c))
+      << "a different seed produced the identical clustering — the seed "
+         "is not reaching the k-means RNG";
+}
+
+TEST(IvfIndexTest, ParallelKMeansAssignmentIsBitIdentical) {
+  la::Matrix data = Vectors(700, 16, 22);
+  KMeansOptions sequential;
+  sequential.clusters = 12;
+  sequential.seed = 3;
+  auto expected = SphericalKMeans(data, sequential);
+  ASSERT_TRUE(expected.ok());
+
+  ThreadPool pool(3);
+  KMeansOptions parallel = sequential;
+  parallel.pool = &pool;
+  auto got = SphericalKMeans(data, parallel);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->assignment, expected->assignment);
+  ASSERT_EQ(got->centroids.rows(), expected->centroids.rows());
+  for (size_t c = 0; c < got->centroids.rows(); ++c) {
+    for (size_t d = 0; d < got->centroids.cols(); ++d) {
+      EXPECT_EQ(got->centroids.At(c, d), expected->centroids.At(c, d));
+    }
+  }
+}
+
+TEST(IvfIndexTest, SaveLoadRoundTripsListsAndNprobe) {
+  la::Matrix vectors = Vectors(400, 16, 23);
+  IvfBuildOptions options;
+  options.nlist = 8;
+  auto built = IvfFlatIndex::Build(vectors.Clone(), options);
+  ASSERT_TRUE(built.ok());
+  (*built)->set_nprobe(3);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cej_ivf_roundtrip.bin";
+  ASSERT_TRUE((*built)->Save(path).ok());
+
+  auto loaded = IvfFlatIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), (*built)->size());
+  EXPECT_EQ((*loaded)->nprobe(), 3u);
+  EXPECT_EQ(AllLists(**loaded), AllLists(**built));
+  la::Matrix queries = Vectors(5, 16, 24);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ((*loaded)->SearchTopK(queries.Row(q), 4),
+              (*built)->SearchTopK(queries.Row(q), 4));
+  }
+}
+
 }  // namespace
 }  // namespace cej::index
