@@ -39,6 +39,16 @@ std::shared_ptr<const la::Matrix> EmbeddingCache::Get(
   return it->second.matrix;
 }
 
+std::shared_ptr<const la::Matrix> EmbeddingCache::Peek(
+    const std::string& table, const std::string& column,
+    const model::EmbeddingModel* model) const {
+  if (options_.max_bytes == 0) return nullptr;
+  const std::string key = Key(table, column, model);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.matrix;
+}
+
 void EmbeddingCache::Put(const std::string& table, const std::string& column,
                          const model::EmbeddingModel* model,
                          la::Matrix embedding) {

@@ -64,6 +64,14 @@ class EmbeddingCache {
                                         const std::string& column,
                                         const model::EmbeddingModel* model);
 
+  /// Like Get, but side-effect-free: neither the LRU order nor the
+  /// hit/miss counters move. The planner peeks at expected cache state to
+  /// price warm-column joins (cache-aware costing) without perturbing the
+  /// statistics queries observe.
+  std::shared_ptr<const la::Matrix> Peek(
+      const std::string& table, const std::string& column,
+      const model::EmbeddingModel* model) const;
+
   /// Parks a freshly computed full-table embedding, evicting LRU entries
   /// until the budget holds. Replaces any existing entry for the key.
   /// The shared form is copy-free: the caller keeps using the same matrix

@@ -1,5 +1,6 @@
 #include "cej/api/engine.h"
 
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -24,9 +25,21 @@ Engine::Engine(const Options& options) : options_(options) {
     cache_options.max_bytes = options_.embedding_cache_bytes;
     embedding_cache_ = std::make_unique<EmbeddingCache>(cache_options);
   }
+  if (options_.adaptive_stats) {
+    stats::CostCalibrator::Options calibrator_options;
+    calibrator_options.seed = cost_params_;
+    calibrator_options.ring_capacity = options_.stats_ring_capacity;
+    calibrator_options.refit_interval = options_.stats_refit_interval;
+    calibrator_options.decay = options_.stats_decay;
+    calibrator_options.explore_cost_ratio = options_.stats_explore_cost_ratio;
+    calibrator_ =
+        std::make_unique<stats::CostCalibrator>(calibrator_options);
+  }
   index::IndexManager::Options manager_options;
   manager_options.auto_build_after_losses = options_.index_auto_build_losses;
   manager_options.auto_build = options_.index_auto_build_options;
+  manager_options.family_aware = options_.index_auto_build_family_aware;
+  manager_options.auto_build_recall_target = options_.index_auto_build_recall;
   index_manager_ = std::make_unique<index::IndexManager>(
       std::move(manager_options), pool_.get(), embedding_cache_.get(),
       options_.simd);
@@ -214,14 +227,57 @@ QueryBuilder Engine::Query(std::string table) const {
 }
 
 void Engine::CalibrateCosts(const model::EmbeddingModel& model) {
-  cost_params_ = plan::Calibrate(model);
+  set_cost_params(plan::Calibrate(model));
+}
+
+void Engine::set_cost_params(const plan::CostParams& params) {
+  cost_params_ = params;
+  // The seed changed under the calibrator: restart learning from it (the
+  // observation history ring is kept for diagnostics).
+  if (calibrator_ != nullptr) calibrator_->ResetSeed(params);
+}
+
+Status Engine::Recalibrate() {
+  if (calibrator_ == nullptr) {
+    return Status::InvalidArgument(
+        "Recalibrate: adaptive stats are disabled "
+        "(Engine::Options::adaptive_stats)");
+  }
+  calibrator_->Refit();
+  return Status::OK();
+}
+
+Status Engine::SaveCalibration(const std::string& path) const {
+  if (calibrator_ == nullptr) {
+    return Status::InvalidArgument(
+        "SaveCalibration: adaptive stats are disabled "
+        "(Engine::Options::adaptive_stats)");
+  }
+  return calibrator_->Save(path);
+}
+
+Status Engine::LoadCalibration(const std::string& path) {
+  if (calibrator_ == nullptr) {
+    return Status::InvalidArgument(
+        "LoadCalibration: adaptive stats are disabled "
+        "(Engine::Options::adaptive_stats)");
+  }
+  CEJ_RETURN_IF_ERROR(calibrator_->Load(path));
+  // cost_params() is documented as THE seed: keep it agreeing with the
+  // seed the envelope restored into the calibrator.
+  cost_params_ = calibrator_->seed();
+  return Status::OK();
 }
 
 plan::ExecContext Engine::MakeExecContext() const {
   plan::ExecContext context;
   context.pool = pool_.get();
   context.simd = options_.simd;
-  context.cost_params = cost_params_;
+  // Adaptive engines price with the calibrated snapshot. COPIED here, so
+  // a refit landing mid-query never changes this plan's prices.
+  context.cost_params = calibrator_ != nullptr ? *calibrator_->Current()
+                                               : cost_params_;
+  context.calibrator = calibrator_.get();
   context.shard_count = options_.join_shard_count;
   context.embedding_cache = embedding_cache_.get();
   // Plan-time snapshot: every index this query might probe is pinned via
@@ -384,6 +440,58 @@ Result<std::string> QueryBuilder::Explain() const {
     }
   }
   if (!catalog.empty()) out += "— index catalog —\n" + catalog;
+
+  // Adaptive stats: the calibrated-vs-seed coefficients new plans price
+  // with, and the recent per-join misprediction history feeding them.
+  if (engine_->calibrator() != nullptr) {
+    const stats::CostCalibrator& calibrator = *engine_->calibrator();
+    const plan::CostParams seed = calibrator.seed();
+    const plan::CostParams current = *calibrator.Current();
+    const auto calibrator_stats = calibrator.stats();
+    char line[160];
+    out += "— adaptive stats —\n";
+    std::snprintf(line, sizeof(line),
+                  "  %llu observations, %llu refits, last refit error "
+                  "%.3f |ln(est/meas)|\n",
+                  static_cast<unsigned long long>(
+                      calibrator_stats.observations),
+                  static_cast<unsigned long long>(calibrator_stats.refits),
+                  calibrator_stats.last_mean_abs_log_error);
+    out += line;
+    const auto coefficient = [&](const char* name, double seed_value,
+                                 double calibrated_value) {
+      std::snprintf(line, sizeof(line), "  %-20s %12.4g -> %-12.4g\n", name,
+                    seed_value, calibrated_value);
+      out += line;
+    };
+    coefficient("access", seed.access, current.access);
+    coefficient("model", seed.model, current.model);
+    coefficient("compute", seed.compute, current.compute);
+    coefficient("tensor_efficiency", seed.tensor_efficiency,
+                current.tensor_efficiency);
+    coefficient("probe_per_candidate", seed.probe_per_candidate,
+                current.probe_per_candidate);
+    coefficient("parallel_efficiency", seed.parallel_efficiency,
+                current.parallel_efficiency);
+    const auto history = calibrator.workload_stats().AllObservations();
+    if (!history.empty()) {
+      out += "  recent joins (operator, est ms, meas ms, |ln err|):\n";
+      const size_t first = history.size() > 8 ? history.size() - 8 : 0;
+      for (size_t i = first; i < history.size(); ++i) {
+        const auto& obs = history[i];
+        const double err =
+            obs.estimated_ns > 0.0 && obs.measured_ns > 0.0
+                ? std::fabs(std::log(obs.estimated_ns / obs.measured_ns))
+                : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "  #%-4llu %-16s%s est %10.3f meas %10.3f err %5.2f\n",
+                      static_cast<unsigned long long>(obs.sequence),
+                      obs.op.c_str(), obs.explored ? " (explored)" : "",
+                      obs.estimated_ns / 1e6, obs.measured_ns / 1e6, err);
+        out += line;
+      }
+    }
+  }
   return out;
 }
 

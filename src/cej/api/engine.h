@@ -41,6 +41,7 @@
 #include "cej/model/embedding_model.h"
 #include "cej/plan/executor.h"
 #include "cej/plan/logical_plan.h"
+#include "cej/stats/cost_calibrator.h"
 #include "cej/storage/relation.h"
 
 namespace cej {
@@ -81,6 +82,34 @@ class Engine {
     size_t index_auto_build_losses = 0;
     /// What the auto-build policy constructs (family + build knobs).
     index::IndexBuildOptions index_auto_build_options;
+    /// Family-aware auto-build: pick flat/IVF/HNSW per key from the
+    /// losing queries' observed shapes (probe batch size, condition kind,
+    /// table size) and the recall target below, overriding the configured
+    /// family (index::ChooseIndexFamily documents the rule).
+    bool index_auto_build_family_aware = false;
+    /// Recall the family-aware policy must preserve; >= 0.999 forces the
+    /// exact flat family.
+    double index_auto_build_recall = 1.0;
+
+    // --- Adaptive statistics & cost calibration (cej::stats) ------------
+    /// Master switch: record every executed join as an observation
+    /// (workload features, quote, measured nanoseconds), refit the cost
+    /// model online, and price new plans with the calibrated snapshot.
+    /// Also enables cost-scan exploration and extends the registry scan
+    /// to string-key joins (see plan::ExecContext::calibrator). Off by
+    /// default: the static seed/CalibrateCosts behaviour is unchanged.
+    bool adaptive_stats = false;
+    /// Per-operator observation history depth (Explain / diagnostics).
+    size_t stats_ring_capacity = 64;
+    /// Auto-refit after this many calibratable observations (0 = refit
+    /// only on Engine::Recalibrate()).
+    size_t stats_refit_interval = 8;
+    /// Exponential forgetting per observation in (0, 1].
+    double stats_decay = 0.98;
+    /// Exploration bound: an eligible exact operator with no recorded
+    /// observations runs once when its quote is within this factor of
+    /// the best quote. 0 disables exploration.
+    double stats_explore_cost_ratio = 32.0;
   };
 
   Engine();
@@ -169,12 +198,33 @@ class Engine {
   // --- Environment -------------------------------------------------------
 
   /// Micro-benchmarks the host against `model` to replace the default
-  /// cost-model parameters (plan::Calibrate).
+  /// cost-model parameters (plan::Calibrate). With adaptive stats enabled
+  /// this re-seeds the calibrator (discarding what it learned).
   void CalibrateCosts(const model::EmbeddingModel& model);
-  void set_cost_params(const plan::CostParams& params) {
-    cost_params_ = params;
-  }
+  void set_cost_params(const plan::CostParams& params);
+  /// The SEED parameters. With adaptive stats enabled, queries price with
+  /// the calibrator's current snapshot instead: calibrator()->Current().
   const plan::CostParams& cost_params() const { return cost_params_; }
+
+  // --- Adaptive statistics ------------------------------------------------
+
+  /// The cost calibrator, or nullptr when Options::adaptive_stats is off.
+  /// Exposes the observation history (workload_stats()), the refit error
+  /// history, and the current calibrated snapshot.
+  stats::CostCalibrator* calibrator() const { return calibrator_.get(); }
+
+  /// Forces a refit of the calibrated cost parameters from the recorded
+  /// observations and publishes a fresh snapshot. Queries already running
+  /// keep the snapshot they planned with. Fails when adaptive stats are
+  /// disabled.
+  Status Recalibrate();
+
+  /// Persists the calibration state (seed, fitted coefficients, decayed
+  /// regression state) so a new process starts with — and keeps learning
+  /// from — this one's observations. Checksummed; LoadCalibration rejects
+  /// corrupt or foreign envelopes without touching the current state.
+  Status SaveCalibration(const std::string& path) const;
+  Status LoadCalibration(const std::string& path);
 
   ThreadPool* pool() const { return pool_.get(); }
 
@@ -200,6 +250,10 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<EmbeddingCache> embedding_cache_;
   plan::CostParams cost_params_;
+  /// Non-null iff Options::adaptive_stats. Queries borrow the pointer for
+  /// observation recording; refits publish immutable snapshots, so plans
+  /// copied their prices at MakeExecContext time and never race one.
+  std::unique_ptr<stats::CostCalibrator> calibrator_;
 
   /// Guards the name catalogs below. The index catalog has its own
   /// synchronization inside the manager.

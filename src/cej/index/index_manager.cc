@@ -40,6 +40,27 @@ std::string LossKey(const std::string& table, const std::string& column,
 
 }  // namespace
 
+IndexFamily ChooseIndexFamily(double avg_left_rows, size_t table_rows,
+                              bool topk_dominated, double recall_target) {
+  // The exact family is the only one that can GUARANTEE recall; it is
+  // also strictly best on small tables, where brute-force probes beat any
+  // structure's traversal overhead and the build is a no-op.
+  constexpr size_t kSmallTableRows = 20'000;
+  constexpr double kGraphWorthyBatch = 32.0;
+  if (recall_target >= 0.999) return IndexFamily::kFlat;
+  if (table_rows < kSmallTableRows) return IndexFamily::kFlat;
+  // Large approximate-tolerant tables: graph beam search is the small-k
+  // sweet spot, but its build is the most expensive of the three — only
+  // worth it when the observed probe batches are big enough to amortize.
+  // Range/threshold-dominated workloads (and trickles of tiny batches)
+  // take IVF: cluster scans cover ranges without per-probe beam tuning
+  // and build an order of magnitude cheaper.
+  if (topk_dominated && avg_left_rows >= kGraphWorthyBatch) {
+    return IndexFamily::kHnsw;
+  }
+  return IndexFamily::kIvf;
+}
+
 const char* IndexFamilyName(IndexFamily family) {
   switch (family) {
     case IndexFamily::kFlat:
@@ -360,16 +381,31 @@ void IndexManager::RecordIndexLoss(
     const std::string& table,
     std::shared_ptr<const storage::Relation> relation,
     const std::string& column, const model::EmbeddingModel* model,
-    uint64_t generation) {
+    uint64_t generation, const IndexLossContext& context) {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.losses_recorded;
   if (options_.auto_build_after_losses == 0) return;
   LossEntry& entry = losses_[LossKey(table, column, model)];
   if (entry.build_started) return;
   ++entry.count;
+  entry.sum_left_rows += static_cast<double>(context.left_rows);
+  if (context.topk) ++entry.topk_losses;
+  if (context.table_rows > 0) entry.table_rows = context.table_rows;
   if (entry.count < options_.auto_build_after_losses) return;
   entry.build_started = true;
   ++stats_.auto_builds;
+  // Family-aware policy: pick the family from what the LOSING QUERIES
+  // looked like — average probe batch, dominant condition kind, table
+  // size — rather than one configured family for every workload.
+  IndexBuildOptions build_options = options_.auto_build;
+  if (options_.family_aware) {
+    const size_t table_rows =
+        entry.table_rows > 0 ? entry.table_rows : relation->num_rows();
+    build_options.family = ChooseIndexFamily(
+        entry.sum_left_rows / static_cast<double>(entry.count), table_rows,
+        entry.topk_losses * 2 >= entry.count,
+        options_.auto_build_recall_target);
+  }
   // Reap finished builders first so long-lived engines don't accumulate
   // joinable zombie threads between WaitForBackgroundBuilds calls.
   ReapFinishedBuildsLocked();
@@ -381,9 +417,9 @@ void IndexManager::RecordIndexLoss(
   build.done = std::make_shared<std::atomic<bool>>(false);
   build.thread = std::thread(
       [this, table, relation = std::move(relation), column, model,
-       generation, done = build.done] {
-        auto built = Build(table, relation, column, model,
-                           options_.auto_build, generation);
+       generation, build_options, done = build.done] {
+        auto built = Build(table, relation, column, model, build_options,
+                           generation);
         if (!built.ok()) {
           // Failed (e.g. the policy family cannot serve this column, or
           // the table was replaced mid-build): reset the latch so later

@@ -80,6 +80,27 @@ struct IndexBuildOptions {
   std::string model;
 };
 
+/// Workload shape observed at cost-scan loss time — what the family-aware
+/// auto-build policy aggregates per (table, column, model) to pick a
+/// family from evidence instead of configuration.
+struct IndexLossContext {
+  size_t left_rows = 0;   ///< Probe batch size of the losing query.
+  size_t table_rows = 0;  ///< Right (indexed) relation size.
+  bool topk = false;      ///< Top-k condition (vs threshold/range).
+};
+
+/// The family-aware auto-build rule (ROADMAP "family-aware auto-build"):
+///
+///   * recall_target >= 0.999 -> flat    (only the exact family can keep it)
+///   * small tables           -> flat    (exact, trivial build, probes cheap)
+///   * top-k dominated, large probe batches -> HNSW (graph beam search is
+///     the small-k sweet spot; big batches amortize the costly build)
+///   * otherwise (range/threshold dominated, or tiny probe batches)
+///                            -> IVF     (cluster scans cover ranges
+///     without per-probe beam tuning, and build far cheaper than a graph)
+IndexFamily ChooseIndexFamily(double avg_left_rows, size_t table_rows,
+                              bool topk_dominated, double recall_target);
+
 /// What one Build / Load actually did.
 struct IndexBuildStats {
   IndexFamily family = IndexFamily::kUnknown;
@@ -162,6 +183,15 @@ class IndexManager {
     size_t auto_build_after_losses = 0;
     /// What the policy builds.
     IndexBuildOptions auto_build;
+    /// When true, `auto_build.family` is OVERRIDDEN per key by
+    /// ChooseIndexFamily over the aggregated loss-time workload shapes
+    /// (observed probe batch sizes, condition kinds, table size) and
+    /// `auto_build_recall_target`. The remaining auto_build knobs
+    /// (per-family build options, probe defaults, model) apply unchanged.
+    bool family_aware = false;
+    /// Recall the family-aware policy must preserve: >= 0.999 forces the
+    /// exact flat family.
+    double auto_build_recall_target = 1.0;
   };
 
   /// Monotonic counters (losses/invalidations) plus build accounting.
@@ -226,13 +256,16 @@ class IndexManager {
   /// the builder never touches engine catalogs). `generation` is the
   /// PLAN-TIME generation (IndexCatalogSnapshot::TableGeneration) the
   /// `relation` snapshot belongs to — a build from a since-replaced
-  /// relation is discarded at publish. Cheap; called from the executor's
-  /// hot path only on index-less probe-eligible joins.
+  /// relation is discarded at publish. `context` carries the losing
+  /// query's workload shape, aggregated per key for the family-aware
+  /// policy. Cheap; called from the executor's hot path only on
+  /// index-less probe-eligible joins.
   void RecordIndexLoss(const std::string& table,
                        std::shared_ptr<const storage::Relation> relation,
                        const std::string& column,
                        const model::EmbeddingModel* model,
-                       uint64_t generation);
+                       uint64_t generation,
+                       const IndexLossContext& context = {});
 
   /// Persists the most recent manager-built entry for (table, column)
   /// into a family-tagged envelope at `path`. External entries (unknown
@@ -260,6 +293,10 @@ class IndexManager {
   struct LossEntry {
     size_t count = 0;
     bool build_started = false;
+    // Aggregated loss-time workload shape (family-aware policy inputs).
+    double sum_left_rows = 0.0;
+    size_t topk_losses = 0;
+    size_t table_rows = 0;  // Last observed (right) relation size.
   };
 
   /// One background build: the done flag lets RecordIndexLoss reap

@@ -19,6 +19,7 @@
 #define CEJ_JOIN_JOIN_COST_H_
 
 #include <cstddef>
+#include <string_view>
 
 #include "cej/join/join_common.h"
 
@@ -42,7 +43,16 @@ struct CostParams {
   double probe_base = 10.0;
   double probe_per_candidate = 40.0;
   size_t probe_ef = 64;
+  /// Pool-scaling efficiency of partition-parallel operators in (0, 1]:
+  /// the realized speedup of P-way parallel work is 1 + (P - 1) * eta
+  /// (1 = perfect scaling, the seed assumption; the calibrator lowers it
+  /// when measured sharded runs scale worse than linearly).
+  double parallel_efficiency = 1.0;
 };
+
+/// The realized speedup of `min(shards, workers)`-way parallel work under
+/// `p.parallel_efficiency` — the ONE rule every sharded cost uses.
+double ParallelSpeedup(size_t shards, size_t workers, const CostParams& p);
 
 /// Cost of an E-selection over n tuples (embed + predicate per tuple).
 double ESelectionCost(size_t n, const CostParams& p);
@@ -62,7 +72,12 @@ double TensorJoinCost(size_t m, size_t n, const CostParams& p);
 /// instead of their sum (the Section V model-invocation bottleneck hidden
 /// behind compute). Always <= TensorJoinCost for the same shape; the gap is
 /// min(|S| * M, sweep) — largest when model and sweep cost are balanced.
-double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p);
+/// The cache flags drop the corresponding side's model term (cache-aware
+/// costing); this is the ONE pipelined pricing rule — the operator's
+/// EstimateCost calls it, so helper and planner cannot diverge.
+double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p,
+                               bool left_embed_cached = false,
+                               bool right_embed_cached = false);
 
 /// Cost of the sharded tensor join over `shards` right-relation row
 /// shards on `workers` threads: the embedding is unchanged, the blocked
@@ -102,6 +117,17 @@ struct JoinWorkload {
   double right_selectivity = 1.0;
   JoinCondition condition;
   bool index_available = false;
+  /// The served index produces exact results (a flat family entry): the
+  /// planner's RequireExact() filter admits the probe path despite the
+  /// index operator's conservative `exact = false` trait.
+  bool index_exact = false;
+  /// Expected embedding-cache state per side: true means the side's model
+  /// term will NOT be paid (the engine cache already holds — or, for the
+  /// left side, the executor has already materialized — the full-column
+  /// embedding). Cost formulas price a partial hit asymmetrically: a warm
+  /// left and cold right still pays |S| * M, never (|R| + |S|) * M.
+  bool left_embed_cached = false;
+  bool right_embed_cached = false;
   /// True when the planner can hand the right relation to the operator as
   /// raw strings plus a model (an un-materialized Embed pipeline), letting
   /// pipelined operators overlap embedding with the sweep. Operators that
@@ -117,6 +143,43 @@ struct JoinWorkload {
   /// planner's quote matches the executed configuration.
   size_t shard_count = 0;
 };
+
+/// A workload's cost decomposed over the CALIBRATED coefficients — the
+/// contract between pricing and the adaptive cost calibrator
+/// (cej/stats/cost_calibrator.h). The quote every scan/probe operator
+/// returns is PriceFeatures(FeaturesForOperator(name, w, p), p), so the
+/// features the calibrator regresses over are — by construction, not by
+/// convention — the exact multipliers the planner priced with:
+///
+///   predicted = fixed
+///            + model * p.model                                 (theta_M)
+///            + pair  * (p.access + p.compute)                  (theta_P)
+///            + sweep * (p.access + p.compute) * p.tensor_efficiency
+///            + probe * (p.access + p.compute) * p.probe_per_candidate
+struct CostFeatures {
+  double model = 0.0;  ///< Expected model invocations (cache-discounted).
+  double pair = 0.0;   ///< Per-pair NLJ work units (incl. merge fan-in).
+  double sweep = 0.0;  ///< Blocked-GEMM pair units, post parallel speedup.
+  double probe = 0.0;  ///< Index candidate traversals, post speedup.
+  /// Cost priced with NON-calibrated parameters (linear access scans,
+  /// probe_base), evaluated at estimate time.
+  double fixed = 0.0;
+  /// False when the operator's cost is not linear in the coefficients
+  /// (the pipelined max(embed, sweep) overlap): the observation is kept
+  /// for history but excluded from the least-squares fit.
+  bool calibratable = true;
+};
+
+/// The linear pricing rule above.
+double PriceFeatures(const CostFeatures& f, const CostParams& p);
+
+/// The feature decomposition for the named built-in operator
+/// ("naive_nlj", "prefetch_nlj", "tensor", "sharded_tensor", "index",
+/// "pipelined_tensor"). Unknown names return an all-zero, non-calibratable
+/// vector. Eligibility (infinite quotes) is the operator's concern, not
+/// this function's.
+CostFeatures FeaturesForOperator(std::string_view op_name,
+                                 const JoinWorkload& w, const CostParams& p);
 
 }  // namespace cej::join
 

@@ -122,8 +122,11 @@ class NaiveNljOperator : public JoinOperator {
 
   double EstimateCost(const JoinWorkload& w,
                       const CostParams& p) const override {
-    return static_cast<double>(w.right_rows) * p.access +
-           NaiveENljCost(w.left_rows, FilteredRight(w), p);
+    // Priced through the calibration feature decomposition (join_cost.h):
+    // the quote and the coefficients the adaptive calibrator refits are
+    // the same numbers by construction. Same below for every scan/probe
+    // operator with a coefficient-linear cost.
+    return PriceFeatures(FeaturesForOperator(Name(), w, p), p);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,
@@ -152,8 +155,7 @@ class PrefetchNljOperator : public JoinOperator {
 
   double EstimateCost(const JoinWorkload& w,
                       const CostParams& p) const override {
-    return static_cast<double>(w.right_rows) * p.access +
-           PrefetchENljCost(w.left_rows, FilteredRight(w), p);
+    return PriceFeatures(FeaturesForOperator(Name(), w, p), p);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,
@@ -193,9 +195,9 @@ class TensorJoinOperator : public JoinOperator {
   double EstimateCost(const JoinWorkload& w,
                       const CostParams& p) const override {
     // Filter S (linear), then tensor-join against the survivors — the
-    // "scan" access path of Section VI.E.
-    return static_cast<double>(w.right_rows) * p.access +
-           TensorJoinCost(w.left_rows, FilteredRight(w), p);
+    // "scan" access path of Section VI.E. Warm embedding-cache columns
+    // drop their side's model term (cache-aware costing).
+    return PriceFeatures(FeaturesForOperator(Name(), w, p), p);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,
@@ -238,31 +240,11 @@ class IndexJoinOperator : public JoinOperator {
     if (!w.index_available) return kInf;
     // Per-probe traversal over the FULL index (pre-filter semantics), with
     // the beam inflated for top-k > 1 and further for range conditions
-    // (which probe via the top-k mechanism and post-filter). Beam factors
-    // reproduce the paper's relative crossover shifts: k=32 costs ~3x a
-    // top-1 probe (Fig 16); range probes another ~2x (Fig 17).
-    CostParams probe_params = p;
-    double beam_factor;
-    if (w.condition.kind == JoinCondition::Kind::kTopK) {
-      beam_factor =
-          1.0 +
-          static_cast<double>(std::max<size_t>(w.condition.k, 1)) / 16.0;
-    } else {
-      beam_factor = 3.0;  // Top-k=32 retrieval mechanism under the hood.
-      probe_params.probe_per_candidate *= 2.0;
-    }
-    probe_params.probe_ef = std::max<size_t>(
-        1, static_cast<size_t>(static_cast<double>(p.probe_ef) *
-                               beam_factor));
-    // Probe parallelism is priced through the SAME shard resolver Run()
-    // executes (left-row shards on the pool), so the quote matches the
-    // configuration — catalog-backed plans win unforced exactly when the
-    // parallel probe batch beats the parallel sweep.
-    const size_t shards =
-        ResolveShardCount(w.left_rows, w.pool_threads, w.shard_count,
-                          IndexJoinOptions{}.min_shard_rows);
-    return ShardedIndexJoinCost(w.left_rows, w.right_rows, shards,
-                                w.pool_threads, probe_params);
+    // (which probe via the top-k mechanism and post-filter) — the beam
+    // factors and the shard resolver Run() executes live inside the
+    // feature decomposition, so the quote matches both the executed
+    // configuration and the coefficients the calibrator refits.
+    return PriceFeatures(FeaturesForOperator(Name(), w, p), p);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,
@@ -308,10 +290,14 @@ class PipelinedTensorOperator : public JoinOperator {
                       const CostParams& p) const override {
     // Without a string-streamable right side there is no embedding left to
     // hide — the plain tensor operator covers that shape, so bow out of
-    // the cost scan entirely.
+    // the cost scan entirely. (The executor also withdraws streamability
+    // when the embedding cache already holds the right column: a warm
+    // cache leaves nothing to overlap, and plain `tensor` wins the tie.)
     if (!w.right_strings_streamable) return kInf;
     return static_cast<double>(w.right_rows) * p.access +
-           PipelinedTensorJoinCost(w.left_rows, FilteredRight(w), p);
+           PipelinedTensorJoinCost(w.left_rows, FilteredRight(w), p,
+                                   w.left_embed_cached,
+                                   w.right_embed_cached);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,
@@ -379,8 +365,7 @@ class ShardedTensorOperator : public JoinOperator {
     // (below the shard-row floor), this IS the tensor operator — bow out
     // and let it take those shapes.
     if (w.pool_threads <= 1 || shards <= 1) return kInf;
-    return static_cast<double>(w.right_rows) * p.access +
-           ShardedJoinCost(w.left_rows, n, shards, w.pool_threads, p);
+    return PriceFeatures(FeaturesForOperator(Name(), w, p), p);
   }
 
   Result<JoinStats> Run(const JoinInputs& inputs,

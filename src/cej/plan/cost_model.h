@@ -26,6 +26,14 @@ using join::NaiveENljCost;
 using join::PrefetchENljCost;
 using join::TensorJoinCost;
 
+// The calibration feature decomposition (each operator's quote is
+// PriceFeatures(FeaturesForOperator(...)) — what the adaptive calibrator
+// in cej/stats refits against).
+using join::CostFeatures;
+using join::FeaturesForOperator;
+using join::ParallelSpeedup;
+using join::PriceFeatures;
+
 /// Micro-benchmarks the host to fill in A, M and C for a concrete model and
 /// dimensionality. Cheap (a few milliseconds).
 CostParams Calibrate(const model::EmbeddingModel& model, size_t sample = 256);

@@ -1,12 +1,15 @@
 #include "cej/plan/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <optional>
 
 #include "cej/api/embedding_cache.h"
 #include "cej/common/macros.h"
+#include "cej/common/timer.h"
+#include "cej/stats/cost_calibrator.h"
 
 namespace cej::plan {
 namespace {
@@ -259,7 +262,12 @@ class PlanExecutor {
   }
 
   // String-key join: the un-rewritten (naive) physical form, unless an
-  // operator override redirects it to a prefetched implementation.
+  // operator override redirects it — or an adaptive calibrator is
+  // attached, in which case the registry cost scan competes every
+  // string-capable operator (naive natively; the prefetched family embeds
+  // on demand) and the run is recorded as an observation. Without a
+  // calibrator the naive NLJ stays hard-wired, deliberately: un-optimized
+  // plans keep behaving like Figure 8's baseline.
   Result<JoinStats> RunStringKeyJoin(const NodePtr& node,
                                      const Column& left_key,
                                      join::JoinSink* sink,
@@ -271,16 +279,50 @@ class PlanExecutor {
     if (right_key->type() != DataType::kString) {
       return Status::InvalidArgument("EJoin: right key is not a string");
     }
+    JoinInputs inputs;
+    inputs.left_strings = &left_key.string_values();
+    inputs.right_strings = &right_key->string_values();
+    inputs.model = node->model;
+
+    const bool adaptive = context_.calibrator != nullptr &&
+                          node->model != nullptr && node->model->dim() > 0;
+    Selection selection;
+    if (adaptive) {
+      join::JoinWorkload workload;
+      workload.left_rows = left_key.string_values().size();
+      workload.right_rows = right.num_rows();
+      workload.dim = node->model->dim();
+      workload.condition = node->condition;
+      // The operators receive raw right strings: with workers to overlap
+      // against, the pipelined operator can hide the right embedding.
+      workload.right_strings_streamable = context_.pool != nullptr;
+      workload.pool_threads =
+          context_.pool != nullptr
+              ? static_cast<size_t>(context_.pool->num_threads()) + 1
+              : 1;
+      workload.shard_count = context_.shard_count;
+      CEJ_ASSIGN_OR_RETURN(
+          selection,
+          SelectOperator(workload, /*have_index=*/false,
+                         /*string_domain=*/true));
+      if (stats_ != nullptr) {
+        stats_->join_operator = std::string(selection.op->Name());
+      }
+      CEJ_ASSIGN_OR_RETURN(JoinStats run_stats,
+                           selection.op->Run(inputs, node->condition,
+                                             BaseOptions(), sink));
+      RecordJoinObservation(
+          selection.op, workload, selection,
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
+      if (materialize_sides) sides->right = std::move(right);
+      return run_stats;
+    }
+
     const std::string op_name = context_.force_operator.empty()
                                     ? "naive_nlj"
                                     : context_.force_operator;
     CEJ_ASSIGN_OR_RETURN(const JoinOperator* op, registry_.Find(op_name));
     if (stats_ != nullptr) stats_->join_operator = std::string(op->Name());
-
-    JoinInputs inputs;
-    inputs.left_strings = &left_key.string_values();
-    inputs.right_strings = &right_key->string_values();
-    inputs.model = node->model;
     CEJ_ASSIGN_OR_RETURN(JoinStats run_stats,
                          op->Run(inputs, node->condition, BaseOptions(),
                                  sink));
@@ -330,16 +372,31 @@ class PlanExecutor {
       }
     }
 
+    // Expected embedding-cache state (cache-aware costing): a warm full
+    // column will be served with zero model calls, so its side's model
+    // term must not be priced — asymmetrically per side (a warm left and
+    // cold right still pays |S| * M).
+    const bool right_embed_cached = PeekColumnWarm(pattern);
+    const ProbePattern left_pattern =
+        MatchProbePattern(node->left, node->left_key);
+    const bool left_embed_cached =
+        left_pattern.embed != nullptr &&
+        left_pattern.embed->output_column == node->left_key &&
+        PeekColumnWarm(left_pattern);
+
     // String-stream fusion candidacy: on streaming execution a right-side
     // Embed pipeline producing the join key can stay un-materialized — a
     // streams_right_strings operator then embeds tiles itself, overlapped
     // with its sweep, instead of the executor embedding everything first.
     // Overlap needs workers: without a pool the pipelined operator
     // phase-alternates and its max(embed, sweep) quote would underbid its
-    // real embed + sweep cost, so fusion is offered only with a pool.
+    // real embed + sweep cost, so fusion is offered only with a pool. A
+    // warm embedding cache also withdraws the offer: the cached column
+    // costs no model calls, so there is nothing to overlap — fusing would
+    // re-embed tile by tile what the cache would have served for free.
     const bool fusion_candidate =
         !materialize_sides && context_.pool != nullptr && pattern.matches &&
-        pattern.embed != nullptr &&
+        !right_embed_cached && pattern.embed != nullptr &&
         pattern.embed->output_column == node->right_key &&
         pattern.embed->model != nullptr && pattern.embed->model->dim() > 0;
 
@@ -399,6 +456,15 @@ class PlanExecutor {
     workload.right_selectivity = right_selectivity;
     workload.condition = node->condition;
     workload.index_available = idx != nullptr;
+    // Exactness-aware probe traits: a served FLAT catalog entry is exact
+    // despite the index operator's conservative trait — RequireExact()
+    // scans may admit it. External registrations stay opaque (unknown
+    // family), hence conservatively approximate.
+    workload.index_exact =
+        catalog_entry != nullptr &&
+        catalog_entry->family == index::IndexFamily::kFlat;
+    workload.left_embed_cached = left_embed_cached;
+    workload.right_embed_cached = right_embed_cached;
     workload.right_strings_streamable = fusion_candidate;
     // Caller-runs pool: the calling thread works alongside the workers.
     workload.pool_threads =
@@ -407,16 +473,24 @@ class PlanExecutor {
             : 1;
     workload.shard_count = context_.shard_count;
 
-    double chosen_cost = std::numeric_limits<double>::infinity();
     CEJ_ASSIGN_OR_RETURN(
-        const JoinOperator* op,
-        SelectOperator(workload, idx != nullptr, &chosen_cost));
+        Selection selection,
+        SelectOperator(workload, idx != nullptr, /*string_domain=*/false));
+    const JoinOperator* op = selection.op;
     if (stats_ != nullptr) {
       stats_->join_operator = std::string(op->Name());
       stats_->join_access_path = op->Traits().needs_index
                                      ? AccessPath::kProbe
                                      : AccessPath::kScan;
     }
+
+    // The cost scope the observation's measured time will cover: the left
+    // side always arrives embedded in the vector domain (its model term
+    // was paid before pricing), and the right side pays model calls inside
+    // the measured window only when the executor (scan path, cold cache)
+    // or the operator itself (fused path) embeds it there.
+    join::JoinWorkload observed = workload;
+    observed.left_embed_cached = true;
 
     // Auto-build feedback: an unforced cost scan ran index-less on a
     // probe-eligible shape — if an index WOULD have priced cheaper than
@@ -434,18 +508,26 @@ class PlanExecutor {
         hypothetical.index_available = true;
         const double index_cost =
             (*index_op)->EstimateCost(hypothetical, context_.cost_params);
-        if (index_cost < chosen_cost) {
+        if (index_cost < selection.best_quote()) {
           // The snapshot's generation pairs with the plan's relation
           // snapshot: if the table is replaced before (or while) the
           // auto-build runs, the build is discarded at publish instead
-          // of covering the old contents.
+          // of covering the old contents. The workload shape rides along
+          // so the family-aware policy can pick flat/IVF/HNSW from what
+          // the losing queries actually looked like.
+          index::IndexLossContext loss_context;
+          loss_context.left_rows = workload.left_rows;
+          loss_context.table_rows = base_rows;
+          loss_context.topk =
+              workload.condition.kind == join::JoinCondition::Kind::kTopK;
           context_.index_manager->RecordIndexLoss(
               pattern.scan->table_name, pattern.scan->relation,
               pattern.embed != nullptr ? pattern.embed->input_column
                                        : node->right_key,
               pattern.embed != nullptr ? pattern.embed->model : nullptr,
               context_.index_catalog->TableGeneration(
-                  pattern.scan->table_name));
+                  pattern.scan->table_name),
+              loss_context);
         }
       }
     }
@@ -461,6 +543,11 @@ class PlanExecutor {
       CEJ_ASSIGN_OR_RETURN(JoinStats run_stats,
                            op->Run(inputs, node->condition, BaseOptions(),
                                    sink));
+      // Probes never embed the right side.
+      observed.right_embed_cached = true;
+      RecordJoinObservation(
+          op, observed, selection,
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
       // Probe ids address base-table rows; materialize the right side as
       // base relation (+ embedding column for rewritten plans) so the
       // output schema matches the scan path's.
@@ -494,9 +581,20 @@ class PlanExecutor {
                                  ? &gathered->string_values()
                                  : &base_col->string_values();
       inputs.model = pattern.embed->model;
-      return op->Run(inputs, node->condition, BaseOptions(), sink);
+      CEJ_ASSIGN_OR_RETURN(
+          JoinStats run_stats,
+          op->Run(inputs, node->condition, BaseOptions(), sink));
+      // Fused: the operator embedded the right side inside the run.
+      RecordJoinObservation(
+          op, observed, selection,
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
+      return run_stats;
     }
 
+    // Scan path: the right-side preparation below (predicate Take, cache
+    // gather, or a full embedding on a cold cache) is part of the cost the
+    // quote priced, so it belongs to the measured window.
+    WallTimer right_prep_timer;
     Relation right;
     if (right_prematerialized.has_value()) {
       right = std::move(*right_prematerialized);
@@ -516,6 +614,7 @@ class PlanExecutor {
     } else {
       CEJ_ASSIGN_OR_RETURN(right, Run(node->right));
     }
+    const double right_prep_seconds = right_prep_timer.ElapsedSeconds();
     CEJ_ASSIGN_OR_RETURN(const Column* right_key,
                          right.ColumnByName(node->right_key));
     if (right_key->type() != DataType::kVector) {
@@ -527,21 +626,51 @@ class PlanExecutor {
     CEJ_ASSIGN_OR_RETURN(
         JoinStats run_stats,
         op->Run(inputs, node->condition, BaseOptions(), sink));
+    // Stored-vector and pre-materialized right sides never pay model calls
+    // inside the measured window — only a cold-cache Embed pipeline does.
+    if (pattern.embed == nullptr) observed.right_embed_cached = true;
+    RecordJoinObservation(op, observed, selection,
+                          right_prep_seconds + run_stats.embed_seconds +
+                              run_stats.join_seconds,
+                          run_stats);
     if (materialize_sides) sides->right = std::move(right);
     return run_stats;
   }
 
+  // The cost scan's verdict: the operator to run, its quote, the rejected
+  // runner-up, and whether calibration exploration (not price) chose it.
+  struct Selection {
+    const JoinOperator* op = nullptr;
+    double cost = std::numeric_limits<double>::infinity();
+    std::string runner_up;
+    double runner_up_cost = std::numeric_limits<double>::infinity();
+    bool explored = false;
+
+    // The cheapest quote the scan saw — what the auto-build loss check
+    // compares a hypothetical index plan against (the chosen quote unless
+    // exploration overrode the price ranking).
+    double best_quote() const { return explored ? runner_up_cost : cost; }
+  };
+
   // Registry-wide pricing: every eligible operator quotes a cost, the
   // cheapest runs. Overrides (force_operator, force_scan, force_probe)
-  // bypass pricing but not eligibility checks at Run() time.
-  // `chosen_cost` receives the winner's quote (+infinity on overrides) —
-  // the auto-build loss check compares a hypothetical index plan to it.
-  Result<const JoinOperator*> SelectOperator(
-      const join::JoinWorkload& workload, bool have_index,
-      double* chosen_cost) {
+  // bypass pricing but not eligibility checks at Run() time; the returned
+  // quote stays +infinity on overrides. `string_domain` scans the
+  // string-capable operator set (adaptive string-key joins) instead of the
+  // vector-domain set.
+  //
+  // Exploration (calibrated scans only): an eligible EXACT operator that
+  // has never produced an observation is chosen once — earliest
+  // registration first — when its quote lands within the calibrator's
+  // explore ratio of the best quote. Without this, an operator whose seed
+  // coefficients OVER-price it would never run, never be observed, and
+  // never be repriced: the chosen operator's own observations cannot
+  // correct a rival's distinct coefficients.
+  Result<Selection> SelectOperator(const join::JoinWorkload& workload,
+                                   bool have_index, bool string_domain) {
     // Legacy-diagnostic costs: the two canonical access paths, exposed in
     // ExecStats regardless of which operator wins.
-    if (stats_ != nullptr) {
+    if (stats_ != nullptr && !string_domain) {
       auto scan_op = registry_.Find("tensor");
       auto probe_op = registry_.Find("index");
       if (scan_op.ok()) {
@@ -554,19 +683,45 @@ class PlanExecutor {
       }
     }
 
+    Selection selection;
     if (!context_.force_operator.empty()) {
-      return registry_.Find(context_.force_operator);
+      CEJ_ASSIGN_OR_RETURN(selection.op,
+                           registry_.Find(context_.force_operator));
+      return selection;
     }
-    if (context_.force_probe && have_index) return registry_.Find("index");
-    if (context_.force_scan) return registry_.Find("tensor");
+    if (!string_domain) {
+      if (context_.force_probe && have_index) {
+        CEJ_ASSIGN_OR_RETURN(selection.op, registry_.Find("index"));
+        return selection;
+      }
+      if (context_.force_scan) {
+        CEJ_ASSIGN_OR_RETURN(selection.op, registry_.Find("tensor"));
+        return selection;
+      }
+    }
 
-    const JoinOperator* best = nullptr;
-    double best_cost = std::numeric_limits<double>::infinity();
+    struct Quote {
+      const JoinOperator* op;
+      double cost;
+      bool exact;
+    };
+    std::vector<Quote> eligible;
     for (const JoinOperator* op : registry_.operators()) {
       const join::JoinOperatorTraits traits = op->Traits();
-      if (traits.needs_strings) continue;  // Vector domain here.
-      if (traits.needs_index && !have_index) continue;
-      if (context_.require_exact && !traits.exact) continue;
+      if (string_domain) {
+        // String domain: every non-index operator competes — the naive
+        // NLJ natively, the prefetched family by embedding on demand.
+        if (traits.needs_index) continue;
+      } else {
+        if (traits.needs_strings) continue;  // Vector domain here.
+        if (traits.needs_index && !have_index) continue;
+      }
+      // Exactness-aware probe traits: the index operator's static trait is
+      // conservatively approximate, but a served FLAT entry is exact —
+      // RequireExact() admits it (ROADMAP "exactness-aware probe traits").
+      const bool exact =
+          traits.exact || (traits.needs_index && workload.index_exact);
+      if (context_.require_exact && !exact) continue;
       if (workload.condition.kind == join::JoinCondition::Kind::kTopK &&
           !traits.supports_topk) {
         continue;
@@ -576,10 +731,18 @@ class PlanExecutor {
           !traits.supports_threshold) {
         continue;
       }
-      const double cost = op->EstimateCost(workload, context_.cost_params);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = op;
+      eligible.push_back(
+          {op, op->EstimateCost(workload, context_.cost_params), exact});
+    }
+
+    const Quote* best = nullptr;
+    const Quote* second = nullptr;
+    for (const Quote& quote : eligible) {
+      if (best == nullptr || quote.cost < best->cost) {
+        second = best;
+        best = &quote;
+      } else if (second == nullptr || quote.cost < second->cost) {
+        second = &quote;
       }
     }
     if (best == nullptr) {
@@ -587,8 +750,115 @@ class PlanExecutor {
           "EJoin: no eligible physical operator registered for this "
           "workload");
     }
-    *chosen_cost = best_cost;
-    return best;
+
+    selection.op = best->op;
+    selection.cost = best->cost;
+    if (second != nullptr && std::isfinite(second->cost)) {
+      selection.runner_up = std::string(second->op->Name());
+      selection.runner_up_cost = second->cost;
+    }
+
+    const double ratio = context_.calibrator != nullptr
+                             ? context_.calibrator->explore_cost_ratio()
+                             : 0.0;
+    if (ratio > 0.0 && std::isfinite(best->cost)) {
+      for (const Quote& quote : eligible) {
+        if (!quote.exact || !std::isfinite(quote.cost)) continue;
+        if (quote.cost > ratio * best->cost) continue;
+        if (context_.calibrator->ObservationCount(quote.op->Name()) > 0) {
+          continue;
+        }
+        if (quote.op != best->op) {
+          selection.op = quote.op;
+          selection.cost = quote.cost;
+          selection.runner_up = std::string(best->op->Name());
+          selection.runner_up_cost = best->cost;
+          selection.explored = true;
+        }
+        break;  // First unobserved in registration order wins.
+      }
+    }
+    return selection;
+  }
+
+  // Feeds the adaptive calibrator — and the estimated-vs-actual ExecStats
+  // fields — after a join ran. `workload` must describe the cost scope
+  // `measured_seconds` covers: in the vector domain the left side always
+  // arrives embedded (its model term was paid before pricing), so callers
+  // pass left_embed_cached = true there.
+  void RecordJoinObservation(const JoinOperator* op,
+                             const join::JoinWorkload& workload,
+                             const Selection& selection,
+                             double measured_seconds,
+                             const JoinStats& run_stats) {
+    const double measured_ns = measured_seconds * 1e9;
+    const double estimated_ns =
+        op->EstimateCost(workload, context_.cost_params);
+    // Re-quote the runner-up under the SAME cost scope as the chosen
+    // estimate, so the two ExecStats numbers (and the observation pair)
+    // are comparable — the scan-time quotes both carried terms the
+    // measured window never covers (e.g. the already-paid left embed).
+    double runner_up_ns = 0.0;
+    if (!selection.runner_up.empty()) {
+      auto runner_up_op = registry_.Find(selection.runner_up);
+      if (runner_up_op.ok()) {
+        const double quote =
+            (*runner_up_op)->EstimateCost(workload, context_.cost_params);
+        if (std::isfinite(quote)) runner_up_ns = quote;
+      }
+    }
+    const bool comparable = std::isfinite(estimated_ns) &&
+                            estimated_ns > 0.0 && measured_ns > 0.0;
+    if (stats_ != nullptr) {
+      stats_->estimated_cost_ns =
+          std::isfinite(estimated_ns) ? estimated_ns : 0.0;
+      stats_->measured_cost_ns = measured_ns;
+      stats_->cost_abs_log_error =
+          comparable ? std::fabs(std::log(estimated_ns / measured_ns)) : 0.0;
+      stats_->runner_up_operator = selection.runner_up;
+      stats_->runner_up_cost_ns = runner_up_ns;
+      stats_->explored_operator = selection.explored;
+    }
+    if (context_.calibrator == nullptr || !comparable) return;
+    stats::Observation obs;
+    obs.op = std::string(op->Name());
+    obs.runner_up = selection.runner_up;
+    obs.estimated_ns = estimated_ns;
+    obs.runner_up_ns = runner_up_ns;
+    obs.measured_ns = measured_ns;
+    obs.features =
+        join::FeaturesForOperator(op->Name(), workload, context_.cost_params);
+    obs.left_rows = workload.left_rows;
+    obs.right_rows = workload.right_rows;
+    obs.dim = workload.dim;
+    obs.topk =
+        workload.condition.kind == join::JoinCondition::Kind::kTopK;
+    const size_t shards = std::max<size_t>(run_stats.shards_used, 1);
+    obs.parallel_workers = std::min(shards, workload.pool_threads);
+    obs.speedup_estimated =
+        join::ParallelSpeedup(shards, workload.pool_threads,
+                              context_.cost_params);
+    obs.explored = selection.explored;
+    context_.calibrator->Record(std::move(obs));
+  }
+
+  // True when the engine embedding cache already holds the FULL column
+  // behind `pattern`'s Embed node at the matching shape — that side's
+  // model term will not be paid. Side-effect-free (Peek moves neither the
+  // LRU order nor the hit/miss counters).
+  bool PeekColumnWarm(const ProbePattern& pattern) const {
+    if (!pattern.matches || pattern.embed == nullptr ||
+        pattern.embed->model == nullptr ||
+        context_.embedding_cache == nullptr) {
+      return false;
+    }
+    const std::shared_ptr<const la::Matrix> warm =
+        context_.embedding_cache->Peek(pattern.scan->table_name,
+                                       pattern.embed->input_column,
+                                       pattern.embed->model);
+    return warm != nullptr &&
+           warm->rows() == pattern.scan->relation->num_rows() &&
+           warm->cols() == pattern.embed->model->dim();
   }
 
   // Materializes the probe path's right side: the base relation, plus the

@@ -37,6 +37,10 @@ namespace cej {
 class EmbeddingCache;
 }
 
+namespace cej::stats {
+class CostCalibrator;
+}
+
 namespace cej::plan {
 
 /// Execution environment.
@@ -67,8 +71,25 @@ struct ExecContext {
   /// Engine-owned cache of full-column embeddings keyed by
   /// (table, column, model); nullptr = no caching. Embed nodes over a base
   /// table serve from (and populate) it; filtered Embed pipelines gather
-  /// surviving rows out of a cached full-table matrix on a hit.
+  /// surviving rows out of a cached full-table matrix on a hit. The
+  /// executor also PEEKS it at plan time: warm columns drop their model
+  /// term from every quote (cache-aware costing), and a warm right column
+  /// withdraws string-stream fusion (nothing left to overlap — plain
+  /// `tensor` takes the tie from `pipelined_tensor`).
   EmbeddingCache* embedding_cache = nullptr;
+  /// Adaptive cost calibration (cej/stats): when set, every executed join
+  /// is recorded as an observation (workload features, quote, measured
+  /// nanoseconds) — feeding online CostParams refits — and the cost scan
+  /// gains two behaviours: (a) exploration — an eligible exact operator
+  /// with no recorded observations is tried once when quoted within the
+  /// calibrator's explore ratio of the best quote, so over-priced seeds
+  /// cannot hide an operator forever; (b) string-key joins run the same
+  /// registry scan instead of hard-wiring the naive NLJ (the Figure 8
+  /// baseline is preserved when no calibrator is attached). `cost_params`
+  /// should be the calibrator's current snapshot: refits publish new
+  /// snapshots, never mutate old ones, so a running plan's prices are
+  /// immutable.
+  stats::CostCalibrator* calibrator = nullptr;
   /// Forces the named registered operator for every EJoin ("" = cost
   /// based). Takes precedence over force_scan / force_probe.
   std::string force_operator;
@@ -109,6 +130,22 @@ struct ExecStats {
   double index_build_seconds = 0.0;
   /// Left rows actually probed by index operators across the plan.
   uint64_t index_probe_rows = 0;
+  /// Estimated-vs-actual accounting for the plan's last EJoin: the chosen
+  /// operator's quote (cost-model units — nanoseconds once calibrated),
+  /// the nanoseconds it actually took (right-side preparation + operator
+  /// run), and the misprediction |ln(estimated / measured)| (0 until both
+  /// sides are known). Feeds — and is the per-query view of — the
+  /// adaptive calibrator's error history.
+  double estimated_cost_ns = 0.0;
+  double measured_cost_ns = 0.0;
+  double cost_abs_log_error = 0.0;
+  /// The second-cheapest eligible operator the cost scan rejected for the
+  /// last EJoin ("" when fewer than two were eligible), and its quote.
+  std::string runner_up_operator;
+  double runner_up_cost_ns = 0.0;
+  /// True when the last EJoin's operator was chosen by calibration
+  /// exploration (first timing for an unobserved operator), not price.
+  bool explored_operator = false;
   /// Merged operator counters across every join in the plan.
   join::JoinStats join_stats;
 };
