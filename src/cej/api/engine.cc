@@ -32,6 +32,7 @@ Engine::Engine(const Options& options) : options_(options) {
     calibrator_options.refit_interval = options_.stats_refit_interval;
     calibrator_options.decay = options_.stats_decay;
     calibrator_options.explore_cost_ratio = options_.stats_explore_cost_ratio;
+    calibrator_options.explore_budget_ns = options_.stats_explore_budget_ns;
     calibrator_ =
         std::make_unique<stats::CostCalibrator>(calibrator_options);
   }
@@ -46,6 +47,14 @@ Engine::Engine(const Options& options) : options_(options) {
 }
 
 Engine::~Engine() = default;
+
+serve::Server* Engine::serve() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (server_ == nullptr) {
+    server_ = std::make_unique<serve::Server>(this, options_.serve);
+  }
+  return server_.get();
+}
 
 Status Engine::RegisterTable(std::string name, storage::Relation table) {
   return RegisterTable(
@@ -473,6 +482,16 @@ Result<std::string> QueryBuilder::Explain() const {
                 current.probe_per_candidate);
     coefficient("parallel_efficiency", seed.parallel_efficiency,
                 current.parallel_efficiency);
+    coefficient("pipeline_overlap", seed.pipeline_overlap,
+                current.pipeline_overlap);
+    std::snprintf(line, sizeof(line),
+                  "  %llu explorations, %.3f ms exploration overhead%s\n",
+                  static_cast<unsigned long long>(
+                      calibrator_stats.explorations),
+                  calibrator_stats.exploration_overhead_ns / 1e6,
+                  calibrator.ExplorationAllowed() ? ""
+                                                  : " (budget exhausted)");
+    out += line;
     const auto history = calibrator.workload_stats().AllObservations();
     if (!history.empty()) {
       out += "  recent joins (operator, est ms, meas ms, |ln err|):\n";

@@ -41,6 +41,7 @@
 #include "cej/model/embedding_model.h"
 #include "cej/plan/executor.h"
 #include "cej/plan/logical_plan.h"
+#include "cej/serve/server.h"
 #include "cej/stats/cost_calibrator.h"
 #include "cej/storage/relation.h"
 
@@ -110,6 +111,15 @@ class Engine {
     /// observations runs once when its quote is within this factor of
     /// the best quote. 0 disables exploration.
     double stats_explore_cost_ratio = 32.0;
+    /// Total exploration-overhead budget in nanoseconds: once explored
+    /// runs have cumulatively cost this much over the quotes they
+    /// displaced, the cost scan stops exploring. 0 = unbounded.
+    double stats_explore_budget_ns = 0.0;
+
+    // --- Serving (cej::serve) -------------------------------------------
+    /// Configuration of the serving layer behind Engine::serve():
+    /// admission queue depth, fusion window, tenant weights and budgets.
+    serve::ServerOptions serve;
   };
 
   Engine();
@@ -195,6 +205,15 @@ class Engine {
   /// table/model, malformed chains) surface at Execute()/Stream() time.
   QueryBuilder Query(std::string table) const;
 
+  // --- Serving -----------------------------------------------------------
+
+  /// The concurrent serving layer (cej/serve): admission queue with
+  /// per-tenant fairness and deadlines, plus multi-query fusion — queued
+  /// queries of the same shape coalesce into one batched sweep. Created
+  /// lazily from Options::serve on first use; owned by the engine and shut
+  /// down before any engine state it executes against.
+  serve::Server* serve();
+
   // --- Environment -------------------------------------------------------
 
   /// Micro-benchmarks the host against `model` to replace the default
@@ -264,10 +283,17 @@ class Engine {
   std::vector<std::unique_ptr<const model::EmbeddingModel>> owned_models_;
   std::string default_model_;
 
-  /// Declared LAST: the manager's destructor joins background index
-  /// builds, which may still be using the pool, the embedding cache and
-  /// owned models — all of which must therefore outlive it.
+  /// Declared after the catalogs: the manager's destructor joins
+  /// background index builds, which may still be using the pool, the
+  /// embedding cache and owned models — all of which must therefore
+  /// outlive it.
   std::unique_ptr<index::IndexManager> index_manager_;
+
+  /// Declared LAST (destroyed first): the server's destructor joins its
+  /// dispatcher threads, whose in-flight batches execute against
+  /// everything above — pool, caches, catalogs, calibrator, indexes.
+  mutable std::mutex serve_mu_;
+  std::unique_ptr<serve::Server> server_;
 };
 
 /// Fluent construction of a logical plan over the engine's catalog.

@@ -39,6 +39,7 @@
 #include "cej/plan/executor.h"
 #include "cej/plan/logical_plan.h"
 #include "cej/plan/rewrite.h"
+#include "cej/serve/server.h"
 #include "cej/stats/cost_calibrator.h"
 #include "cej/stats/workload_stats.h"
 #include "cej/storage/relation.h"

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
       return "ALREADY_EXISTS";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kResourceExhausted,
+  kDeadlineExceeded,
   kUnimplemented,
   kInternal,
 };
@@ -44,6 +45,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

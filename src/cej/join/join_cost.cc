@@ -91,7 +91,14 @@ double PipelinedTensorJoinCost(size_t m, size_t n, const CostParams& p,
       left_embed_cached ? 0.0 : static_cast<double>(m) * p.model;
   const double sweep = static_cast<double>(m) * static_cast<double>(n) *
                        (p.access + p.compute) * p.tensor_efficiency;
-  return embed_left + (embed_right > sweep ? embed_right : sweep);
+  // rho = 1 hides the cheaper phase entirely (the ideal max(embed, sweep));
+  // a calibrated rho < 1 charges back the fraction reality failed to
+  // overlap, so the pipelined quote degrades continuously toward the
+  // un-overlapped embed + sweep sum.
+  const double rho = std::clamp(p.pipeline_overlap, 0.0, 1.0);
+  const double hi = embed_right > sweep ? embed_right : sweep;
+  const double lo = embed_right > sweep ? sweep : embed_right;
+  return embed_left + hi + (1.0 - rho) * lo;
 }
 
 double ShardedJoinCost(size_t m, size_t n, size_t shards, size_t workers,
@@ -178,6 +185,18 @@ CostFeatures FeaturesForOperator(std::string_view op_name,
     f.calibratable = false;
   } else {
     f.calibratable = false;
+    return f;
+  }
+
+  // Fused serving batches demultiplex every emitted pair back to its
+  // member query by a log2(Q) slice search (plan::ExecuteToDemuxSinks).
+  // Only top-k has a plan-time pair count; threshold match counts are
+  // unknown and the routing term is noise next to the sweep there.
+  if (w.fused_queries > 1 &&
+      w.condition.kind == JoinCondition::Kind::kTopK) {
+    const double q = static_cast<double>(w.fused_queries);
+    f.fixed += m * static_cast<double>(std::max<size_t>(w.condition.k, 1)) *
+               std::log2(q) * p.access;
   }
   return f;
 }

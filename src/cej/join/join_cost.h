@@ -48,6 +48,12 @@ struct CostParams {
   /// (1 = perfect scaling, the seed assumption; the calibrator lowers it
   /// when measured sharded runs scale worse than linearly).
   double parallel_efficiency = 1.0;
+  /// Realized embed/sweep overlap of the pipelined tensor join in [0, 1]:
+  /// 1 = perfect overlap (the two phases cost max(embed, sweep), the seed
+  /// assumption), 0 = no overlap (they cost their sum). The adaptive
+  /// calibrator fits it from measured JoinStats::embed_overlapped_seconds
+  /// so the pipelined quote stops assuming the hidden phase is free.
+  double pipeline_overlap = 1.0;
 };
 
 /// The realized speedup of `min(shards, workers)`-way parallel work under
@@ -68,10 +74,12 @@ double TensorJoinCost(size_t m, size_t n, const CostParams& p);
 
 /// Cost of the pipelined tensor join: the left side is embedded up front,
 /// then the right-side embedding of tile k+1 overlaps the blocked sweep of
-/// tile k, so across the tile stream the two phases cost max(embed, sweep)
-/// instead of their sum (the Section V model-invocation bottleneck hidden
-/// behind compute). Always <= TensorJoinCost for the same shape; the gap is
-/// min(|S| * M, sweep) — largest when model and sweep cost are balanced.
+/// tile k, so across the tile stream the two phases cost
+/// max(embed, sweep) + (1 - rho) * min(embed, sweep), where rho is the
+/// calibrated overlap efficiency CostParams::pipeline_overlap (rho = 1
+/// recovers the ideal max(embed, sweep) of the Section V model-invocation
+/// analysis). Always <= TensorJoinCost for the same shape; the gap is
+/// rho * min(|S| * M, sweep) — largest when model and sweep are balanced.
 /// The cache flags drop the corresponding side's model term (cache-aware
 /// costing); this is the ONE pipelined pricing rule — the operator's
 /// EstimateCost calls it, so helper and planner cannot diverge.
@@ -142,6 +150,11 @@ struct JoinWorkload {
   /// with (JoinOptions::shard_count; 0 = auto). Priced as-is so the
   /// planner's quote matches the executed configuration.
   size_t shard_count = 0;
+  /// Client queries stacked into `left_rows` by the serving layer's
+  /// multi-query fusion (1 = an ordinary solo plan). The sweep already
+  /// scales with the taller left matrix; > 1 additionally prices the
+  /// per-pair result demultiplexing back to the member queries.
+  size_t fused_queries = 1;
 };
 
 /// A workload's cost decomposed over the CALIBRATED coefficients — the

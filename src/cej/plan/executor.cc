@@ -87,14 +87,79 @@ Result<Relation> MaterializeJoinOutput(const Schema& output_schema,
   return Relation::Create(output_schema, std::move(columns));
 }
 
+// Routes a fused batch's pair stream back to its member queries: each
+// pair's left row is looked up in the sorted slice ranges (binary search),
+// re-based to the slice, and forwarded to the slice's sink in contiguous
+// runs. Thread-safe to the JoinSink contract — routing is lock-free (the
+// slice table is immutable; per-slice stop flags are atomic) and the
+// member sinks are themselves required to be thread-safe.
+class DemuxSink : public join::JoinSink {
+ public:
+  explicit DemuxSink(const std::vector<ProbeSlice>& slices)
+      : slices_(slices),
+        stopped_(std::make_unique<std::atomic<bool>[]>(slices.size())),
+        live_(slices.size()) {
+    for (size_t i = 0; i < slices_.size(); ++i) stopped_[i] = false;
+  }
+
+  bool Consume(const join::JoinPair* pairs, size_t count) override {
+    std::vector<join::JoinPair> run;  // Re-based pairs for one slice.
+    size_t i = 0;
+    while (i < count) {
+      const size_t slice = SliceFor(pairs[i].left);
+      size_t j = i;
+      while (j < count && SliceFor(pairs[j].left) == slice) ++j;
+      if (!stopped_[slice].load(std::memory_order_relaxed)) {
+        run.assign(pairs + i, pairs + j);
+        const uint32_t base = static_cast<uint32_t>(slices_[slice].begin);
+        for (auto& p : run) p.left -= base;
+        if (!slices_[slice].sink->Consume(run.data(), run.size())) {
+          // Latch once; the last slice to stop stops the operator.
+          if (!stopped_[slice].exchange(true, std::memory_order_relaxed)) {
+            live_.fetch_sub(1, std::memory_order_acq_rel);
+          }
+        }
+      }
+      i = j;
+    }
+    return live_.load(std::memory_order_relaxed) > 0;
+  }
+
+  void Finish() override {
+    for (const ProbeSlice& slice : slices_) slice.sink->Finish();
+  }
+
+ private:
+  size_t SliceFor(uint32_t left) const {
+    // Last slice whose begin <= left. Slices are contiguous from 0, so
+    // every valid left row maps to exactly one.
+    size_t lo = 0, hi = slices_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (slices_[mid].begin <= left) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
+  const std::vector<ProbeSlice>& slices_;
+  std::unique_ptr<std::atomic<bool>[]> stopped_;
+  std::atomic<size_t> live_;
+};
+
 class PlanExecutor {
  public:
-  PlanExecutor(const ExecContext& context, ExecStats* stats)
+  PlanExecutor(const ExecContext& context, ExecStats* stats,
+               size_t fused_queries = 1)
       : context_(context),
         registry_(context.operators != nullptr
                       ? *context.operators
                       : JoinOperatorRegistry::Global()),
-        stats_(stats) {}
+        stats_(stats),
+        fused_queries_(fused_queries < 1 ? 1 : fused_queries) {}
 
   Result<Relation> Run(const NodePtr& node) {
     switch (node->kind) {
@@ -301,6 +366,7 @@ class PlanExecutor {
               ? static_cast<size_t>(context_.pool->num_threads()) + 1
               : 1;
       workload.shard_count = context_.shard_count;
+      workload.fused_queries = fused_queries_;
       CEJ_ASSIGN_OR_RETURN(
           selection,
           SelectOperator(workload, /*have_index=*/false,
@@ -472,6 +538,7 @@ class PlanExecutor {
             ? static_cast<size_t>(context_.pool->num_threads()) + 1
             : 1;
     workload.shard_count = context_.shard_count;
+    workload.fused_queries = fused_queries_;
 
     CEJ_ASSIGN_OR_RETURN(
         Selection selection,
@@ -758,7 +825,10 @@ class PlanExecutor {
       selection.runner_up_cost = second->cost;
     }
 
-    const double ratio = context_.calibrator != nullptr
+    // Exploration respects the engine's overhead budget: once cumulative
+    // exploration overrun exhausts it, the scan prices only.
+    const double ratio = context_.calibrator != nullptr &&
+                                 context_.calibrator->ExplorationAllowed()
                              ? context_.calibrator->explore_cost_ratio()
                              : 0.0;
     if (ratio > 0.0 && std::isfinite(best->cost)) {
@@ -818,6 +888,12 @@ class PlanExecutor {
       stats_->runner_up_operator = selection.runner_up;
       stats_->runner_up_cost_ns = runner_up_ns;
       stats_->explored_operator = selection.explored;
+      // The same overrun the calibrator charges against the exploration
+      // budget: what this explored run cost over the displaced best quote.
+      stats_->exploration_overhead_ns =
+          selection.explored && runner_up_ns > 0.0
+              ? std::max(0.0, measured_ns - runner_up_ns)
+              : 0.0;
     }
     if (context_.calibrator == nullptr || !comparable) return;
     stats::Observation obs;
@@ -839,6 +915,12 @@ class PlanExecutor {
         join::ParallelSpeedup(shards, workload.pool_threads,
                               context_.cost_params);
     obs.explored = selection.explored;
+    // Fused batches are recorded ONCE, with the member-query count as the
+    // per-query attribution; pipelined runs carry their overlap timings
+    // for the rho fit.
+    obs.fused_queries = workload.fused_queries;
+    obs.embed_overlapped_ns = run_stats.embed_overlapped_seconds * 1e9;
+    obs.join_phase_ns = run_stats.join_seconds * 1e9;
     context_.calibrator->Record(std::move(obs));
   }
 
@@ -884,6 +966,9 @@ class PlanExecutor {
   const ExecContext& context_;
   const JoinOperatorRegistry& registry_;
   ExecStats* stats_;
+  // Client queries stacked into the probe batch (ExecuteToDemuxSinks);
+  // priced into every workload so the cost scan sees the fused shape.
+  const size_t fused_queries_;
 };
 
 }  // namespace
@@ -903,6 +988,31 @@ Result<join::JoinStats> ExecuteToSink(const NodePtr& plan,
   CEJ_CHECK(sink != nullptr);
   PlanExecutor executor(context, stats);
   return executor.RunToSink(plan, sink);
+}
+
+Result<join::JoinStats> ExecuteToDemuxSinks(
+    const NodePtr& plan, const ExecContext& context,
+    const std::vector<ProbeSlice>& slices, ExecStats* stats) {
+  CEJ_CHECK(plan != nullptr);
+  if (slices.empty()) {
+    return Status::InvalidArgument("ExecuteToDemuxSinks: no slices");
+  }
+  size_t expected_begin = 0;
+  for (const ProbeSlice& slice : slices) {
+    if (slice.sink == nullptr) {
+      return Status::InvalidArgument("ExecuteToDemuxSinks: null slice sink");
+    }
+    if (slice.begin != expected_begin || slice.end <= slice.begin) {
+      return Status::InvalidArgument(
+          "ExecuteToDemuxSinks: slices must be non-empty, contiguous from "
+          "0, and ascending");
+    }
+    expected_begin = slice.end;
+  }
+  if (stats != nullptr) stats->fused_queries = slices.size();
+  DemuxSink demux(slices);
+  PlanExecutor executor(context, stats, slices.size());
+  return executor.RunToSink(plan, &demux);
 }
 
 }  // namespace cej::plan

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cej/common/status.h"
 #include "cej/common/thread_pool.h"
@@ -146,6 +147,14 @@ struct ExecStats {
   /// True when the last EJoin's operator was chosen by calibration
   /// exploration (first timing for an unobserved operator), not price.
   bool explored_operator = false;
+  /// Nanoseconds the last EJoin's exploration cost over the price-ranked
+  /// quote it displaced (0 when the join was not explored, or exploration
+  /// turned out cheaper). The calibrator accumulates these against
+  /// Engine::Options::stats_explore_budget_ns.
+  double exploration_overhead_ns = 0.0;
+  /// Client queries the serving layer stacked into this plan's probe batch
+  /// (ExecuteToDemuxSinks; 1 = an ordinary solo plan).
+  size_t fused_queries = 1;
   /// Merged operator counters across every join in the plan.
   join::JoinStats join_stats;
 };
@@ -166,6 +175,30 @@ Result<join::JoinStats> ExecuteToSink(const NodePtr& plan,
                                       const ExecContext& context,
                                       join::JoinSink* sink,
                                       ExecStats* stats = nullptr);
+
+/// One member query of a fused (pre-stacked) probe batch: its contiguous
+/// left-row range [begin, end) within the batch's stacked left matrix and
+/// the sink receiving its pairs.
+struct ProbeSlice {
+  size_t begin = 0;
+  size_t end = 0;
+  join::JoinSink* sink = nullptr;
+};
+
+/// Fused-batch execution for the serving layer (cej/serve): `plan`'s root
+/// must be an EJoin whose left side is the STACKED probe batch of several
+/// client queries. The join runs ONCE — one operator selection, one
+/// catalog/cache snapshot, one sweep over the taller left matrix — and
+/// every emitted pair is routed to the slice covering its left row, with
+/// the left id re-based to the slice (pair.left - slice.begin). Slices
+/// must be non-empty, contiguous from 0, and ascending; each slice's sink
+/// observes the standard JoinSink contract (its Finish() runs when the
+/// batch finishes). Early termination propagates to the operator only
+/// when EVERY slice has requested it. With a single slice covering all
+/// left rows this is exactly ExecuteToSink.
+Result<join::JoinStats> ExecuteToDemuxSinks(
+    const NodePtr& plan, const ExecContext& context,
+    const std::vector<ProbeSlice>& slices, ExecStats* stats = nullptr);
 
 }  // namespace cej::plan
 

@@ -17,6 +17,7 @@
 //   theta_S  per-pair blocked-sweep cost      -> CostParams::tensor_efficiency
 //   theta_I  per-candidate probe traversal    -> CostParams::probe_per_candidate
 //   eta      pool-scaling efficiency (EWMA)   -> CostParams::parallel_efficiency
+//   rho      pipelined overlap efficiency (EWMA) -> CostParams::pipeline_overlap
 //
 // Every operator's quote is linear in these (join::CostFeatures — the
 // SAME decomposition the operators price with), so the fit is a 4-way
@@ -65,6 +66,11 @@ class CostCalibrator {
     /// Exploration bound: an unobserved exact operator is chosen once when
     /// its quote is <= ratio * best quote. 0 disables exploration.
     double explore_cost_ratio = 32.0;
+    /// Total exploration-overhead budget in nanoseconds: once the
+    /// cumulative overrun of explored runs over the quote they displaced
+    /// (sum of max(0, measured - runner_up quote)) exceeds this, the cost
+    /// scan stops exploring (ExplorationAllowed()). 0 = unbounded.
+    double explore_budget_ns = 0.0;
     /// Ridge pull toward the seed (absolute, in normal-equation units —
     /// negligible once a coefficient has real observations).
     double ridge = 1.0;
@@ -89,6 +95,9 @@ class CostCalibrator {
     uint64_t refits = 0;
     uint64_t explorations = 0;     ///< Observations chosen by exploration.
     double last_mean_abs_log_error = 0.0;  ///< Of the latest refit window.
+    /// Cumulative nanoseconds explored runs cost over the quote they
+    /// displaced — what Options::explore_budget_ns bounds.
+    double exploration_overhead_ns = 0.0;
   };
 
   explicit CostCalibrator(Options options);
@@ -123,6 +132,15 @@ class CostCalibrator {
 
   double explore_cost_ratio() const { return options_.explore_cost_ratio; }
 
+  /// True while the cost scan may still explore: the cumulative overhead
+  /// of explored runs is under Options::explore_budget_ns (always true
+  /// with an unbounded budget of 0).
+  bool ExplorationAllowed() const;
+
+  /// Cumulative exploration overhead so far (Stats field, exposed for the
+  /// executor's per-query gate and Explain).
+  double exploration_overhead_ns() const;
+
   const WorkloadStats& workload_stats() const { return workload_stats_; }
 
   std::vector<RefitRecord> refit_history() const;
@@ -143,6 +161,7 @@ class CostCalibrator {
   static constexpr size_t kCoeffs = 4;  // theta_M, theta_P, theta_S, theta_I
 
   void AccumulateLocked(const Observation& obs);
+  void FitOverlapLocked(const Observation& obs);
   void RefitLocked();
   join::CostParams PublishedFromThetaLocked() const;
   void ResetLearningLocked();
@@ -161,6 +180,10 @@ class CostCalibrator {
   // Pool-scaling efficiency EWMA over sharded observations.
   double eta_ = 1.0;
   double eta_weight_ = 0.0;
+  // Pipelined embed/sweep overlap efficiency EWMA (CostParams::
+  // pipeline_overlap) over observations carrying embed_overlapped_ns.
+  double rho_ = 1.0;
+  double rho_weight_ = 0.0;
   // Refit bookkeeping.
   uint64_t calibratable_ = 0;
   uint64_t since_refit_ = 0;

@@ -53,6 +53,16 @@ struct Observation {
   /// it (see CostCalibrator exploration) rather than because it quoted
   /// cheapest.
   bool explored = false;
+  /// Client queries the serving layer fused into this single batched run
+  /// (1 = solo). A fused batch is recorded ONCE — this field carries the
+  /// per-query attribution.
+  size_t fused_queries = 1;
+  /// Model time overlapped with the join phase and the join-phase wall
+  /// time (JoinStats::embed_overlapped_seconds / join_seconds in ns; 0
+  /// when the operator did not overlap) — the pipelined-overlap fit's
+  /// inputs.
+  double embed_overlapped_ns = 0.0;
+  double join_phase_ns = 0.0;
   /// Monotonic record number, assigned by WorkloadStats::Record.
   uint64_t sequence = 0;
 };

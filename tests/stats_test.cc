@@ -670,6 +670,171 @@ TEST(AdaptiveEngineTest, ExplainShowsCalibratedCoefficientsAndHistory) {
 }
 
 // ---------------------------------------------------------------------------
+// Exploration budget
+// ---------------------------------------------------------------------------
+
+TEST(CostCalibratorTest, ExplorationBudgetGatesOnCumulativeOverrun) {
+  stats::CostCalibrator::Options options;
+  options.explore_budget_ns = 1000.0;
+  stats::CostCalibrator calibrator(options);
+  EXPECT_TRUE(calibrator.ExplorationAllowed());
+  EXPECT_EQ(calibrator.exploration_overhead_ns(), 0.0);
+
+  // An exploration that beat the quote it displaced costs nothing.
+  stats::Observation cheap;
+  cheap.op = "tensor";
+  cheap.explored = true;
+  cheap.runner_up_ns = 900.0;
+  cheap.measured_ns = 400.0;
+  cheap.estimated_ns = 500.0;
+  calibrator.Record(std::move(cheap));
+  EXPECT_TRUE(calibrator.ExplorationAllowed());
+  EXPECT_EQ(calibrator.exploration_overhead_ns(), 0.0);
+
+  // One that overran by 1500 ns exhausts the 1000 ns budget.
+  stats::Observation costly;
+  costly.op = "naive_nlj";
+  costly.explored = true;
+  costly.runner_up_ns = 500.0;
+  costly.measured_ns = 2000.0;
+  costly.estimated_ns = 600.0;
+  calibrator.Record(std::move(costly));
+  EXPECT_FALSE(calibrator.ExplorationAllowed());
+  EXPECT_EQ(calibrator.exploration_overhead_ns(), 1500.0);
+  EXPECT_EQ(calibrator.stats().explorations, 2u);
+
+  // An unbounded budget never gates.
+  stats::CostCalibrator::Options unbounded;
+  unbounded.explore_budget_ns = 0.0;
+  stats::CostCalibrator free_calibrator(unbounded);
+  stats::Observation again;
+  again.op = "naive_nlj";
+  again.explored = true;
+  again.runner_up_ns = 1.0;
+  again.measured_ns = 1e9;
+  free_calibrator.Record(std::move(again));
+  EXPECT_TRUE(free_calibrator.ExplorationAllowed());
+}
+
+TEST(AdaptiveEngineTest, ExplorationBudgetStopsEngineExploration) {
+  // Skewed seed (free embedding) quotes the naive NLJ at parity, so query
+  // 1 explores it and overruns its displaced quote by orders of
+  // magnitude. With a 1 ns budget that single overrun must end
+  // exploration for good; unbounded, the wide-open explore ratio keeps
+  // exploring the remaining unobserved operators (the prefetched NLJ on
+  // query 2, priced far above the sweep by then).
+  const auto run = [](double budget_ns) {
+    Engine::Options options;
+    options.num_threads = 0;
+    options.adaptive_stats = true;
+    options.stats_refit_interval = 1;
+    options.stats_explore_cost_ratio = 1e9;
+    options.stats_explore_budget_ns = budget_ns;
+    Engine engine(options);
+    model::SubwordHashModel model;
+    auto left_words = workload::RandomStrings(32, 3, 6, 601);
+    auto right_words = workload::RandomStrings(400, 3, 6, 602);
+    CEJ_CHECK(engine.RegisterTable("l", WordsTable(left_words)).ok());
+    CEJ_CHECK(engine.RegisterTable("r", WordsTable(right_words)).ok());
+    CEJ_CHECK(engine.RegisterModel("subword", &model).ok());
+    plan::CostParams skewed;
+    skewed.model = 0.01;
+    engine.set_cost_params(skewed);
+    for (int query = 0; query < 5; ++query) {
+      auto result = engine.Query("l")
+                        .EJoin("r", "word",
+                               join::JoinCondition::Threshold(0.5f))
+                        .WithoutOptimizer()
+                        .Execute();
+      CEJ_CHECK(result.ok());
+    }
+    return engine.calibrator()->stats();
+  };
+
+  const auto bounded = run(1.0);
+  EXPECT_EQ(bounded.explorations, 1u);
+  EXPECT_GT(bounded.exploration_overhead_ns, 1.0);
+
+  const auto unbounded = run(0.0);
+  EXPECT_GE(unbounded.explorations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined overlap calibration (rho)
+// ---------------------------------------------------------------------------
+
+TEST(CostCalibratorTest, PipelineOverlapIsFitFromOverlappedObservations) {
+  // Calibrate theta on synthetic tensor timings first (the rho fit prices
+  // the serial sweep with the fitted theta, and is gated until the first
+  // refit), then feed a pipelined observation whose overlap is known.
+  join::CostParams truth;
+  truth.access = 2.0;
+  truth.compute = 8.0;
+  truth.tensor_efficiency = 0.12;
+  stats::CostCalibrator::Options options;
+  options.seed = truth;  // Start at truth: the fit converges immediately.
+  options.refit_interval = 0;
+  stats::CostCalibrator calibrator(options);
+
+  // Gate check: an overlapped observation BEFORE any refit must not move
+  // rho off the seed's perfect-overlap assumption.
+  {
+    stats::Observation early;
+    early.op = "pipelined_tensor";
+    early.features.sweep = 1000.0;
+    early.embed_overlapped_ns = 500.0;
+    early.join_phase_ns = 10000.0;  // Terrible overlap, if it counted.
+    calibrator.Record(std::move(early));
+    calibrator.Refit();
+    EXPECT_EQ(calibrator.Current()->pipeline_overlap, 1.0);
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    const join::JoinWorkload w = SyntheticWorkload(16 + i, 400, false);
+    const auto current = calibrator.Current();
+    stats::Observation obs;
+    obs.op = "tensor";
+    obs.features = join::FeaturesForOperator("tensor", w, *current);
+    obs.estimated_ns = join::PriceFeatures(obs.features, *current);
+    obs.measured_ns = join::PriceFeatures(
+        join::FeaturesForOperator("tensor", w, truth), truth);
+    calibrator.Record(std::move(obs));
+  }
+  calibrator.Refit();
+  ASSERT_GT(calibrator.stats().refits, 0u);
+
+  // The synthetic pipelined run: the fitted theta prices its sweep at
+  // s = sweep_feature * theta_S; report embedding e = s fully balanced
+  // and a join phase that hid exactly half the overlappable time.
+  const join::CostParams fitted = *calibrator.Current();
+  const double theta_s =
+      (fitted.access + fitted.compute) * fitted.tensor_efficiency;
+  const double sweep_feature = 1000.0;
+  const double s = sweep_feature * theta_s;
+  stats::Observation overlapped;
+  overlapped.op = "pipelined_tensor";
+  overlapped.features.sweep = sweep_feature;
+  overlapped.embed_overlapped_ns = s;
+  overlapped.join_phase_ns = s + 0.5 * s;  // e + s - hidden, hidden = s/2.
+  calibrator.Record(std::move(overlapped));
+  calibrator.Refit();
+  EXPECT_NEAR(calibrator.Current()->pipeline_overlap, 0.5, 1e-6);
+
+  // The calibrated rho reprices the pipelined quote away from the ideal
+  // max(embed, sweep) toward the un-overlapped sum.
+  join::CostParams ideal = fitted;
+  ideal.pipeline_overlap = 1.0;
+  EXPECT_GT(join::PipelinedTensorJoinCost(100, 1000,
+                                          *calibrator.Current(), false, false),
+            join::PipelinedTensorJoinCost(100, 1000, ideal, false, false));
+
+  // ResetSeed discards the learned overlap with the rest.
+  calibrator.ResetSeed(truth);
+  calibrator.Refit();
+  EXPECT_EQ(calibrator.Current()->pipeline_overlap, 1.0);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency (TSan suite)
 // ---------------------------------------------------------------------------
 
