@@ -5,10 +5,26 @@
 #include <utility>
 
 #include "cej/plan/cost_model.h"
+#include "cej/plan/join_order.h"
 #include "cej/plan/rewrite.h"
 #include "cej/storage/column.h"
 
 namespace cej {
+
+namespace {
+
+// Splits a JoinGraphSpec "table.column" endpoint.
+Result<std::pair<std::string, std::string>> SplitEndpoint(
+    const std::string& endpoint) {
+  const auto dot = endpoint.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == endpoint.size()) {
+    return Status::InvalidArgument("QueryGraph: edge endpoint '" + endpoint +
+                                   "' must be \"table.column\"");
+  }
+  return std::make_pair(endpoint.substr(0, dot), endpoint.substr(dot + 1));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -235,6 +251,10 @@ QueryBuilder Engine::Query(std::string table) const {
   return QueryBuilder(this, std::move(table));
 }
 
+QueryBuilder Engine::QueryGraph(JoinGraphSpec spec) const {
+  return QueryBuilder(this, std::move(spec));
+}
+
 void Engine::CalibrateCosts(const model::EmbeddingModel& model) {
   set_cost_params(plan::Calibrate(model));
 }
@@ -351,7 +371,232 @@ QueryBuilder& QueryBuilder::WithoutOptimizer() {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::ForceJoinOrder(std::vector<size_t> order) {
+  force_join_order_ = std::move(order);
+  return *this;
+}
+
+Result<plan::NodePtr> QueryBuilder::BuildFromGraphSpec() const {
+  const JoinGraphSpec& spec = graph_spec_;
+  if (spec.tables.size() < 2) {
+    return Status::InvalidArgument(
+        "QueryGraph: the spec must list at least two tables");
+  }
+  std::unordered_map<std::string, size_t> table_index;
+  std::vector<plan::NodePtr> inputs;
+  inputs.reserve(spec.tables.size());
+  for (size_t i = 0; i < spec.tables.size(); ++i) {
+    const std::string& name = spec.tables[i];
+    if (!table_index.emplace(name, i).second) {
+      return Status::InvalidArgument("QueryGraph: table '" + name +
+                                     "' listed twice");
+    }
+    CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> relation,
+                         engine_->Table(name));
+    inputs.push_back(plan::Scan(name, std::move(relation)));
+  }
+  std::vector<plan::JoinGraphEdge> edges;
+  edges.reserve(spec.edges.size());
+  for (const JoinGraphSpec::Edge& e : spec.edges) {
+    CEJ_ASSIGN_OR_RETURN(auto left, SplitEndpoint(e.left));
+    CEJ_ASSIGN_OR_RETURN(auto right, SplitEndpoint(e.right));
+    const auto resolve = [&](const std::string& table) -> Result<size_t> {
+      auto it = table_index.find(table);
+      if (it == table_index.end()) {
+        return Status::InvalidArgument("QueryGraph: endpoint table '" + table +
+                                       "' is not in the spec's table list");
+      }
+      return it->second;
+    };
+    plan::JoinGraphEdge edge;
+    CEJ_ASSIGN_OR_RETURN(edge.left_input, resolve(left.first));
+    CEJ_ASSIGN_OR_RETURN(edge.right_input, resolve(right.first));
+    edge.left_key = std::move(left.second);
+    edge.right_key = std::move(right.second);
+    edge.condition = e.condition;
+    // String-string edges need a model; a missing/mismatched key column is
+    // reported by the schema check in Build(), not as a missing model.
+    const auto string_key = [&](size_t input, const std::string& key) {
+      const storage::Schema& schema = inputs[input]->relation->schema();
+      auto field = schema.FieldIndex(key);
+      return field.ok() &&
+             schema.field(*field).type == storage::DataType::kString;
+    };
+    if (string_key(edge.left_input, edge.left_key) &&
+        string_key(edge.right_input, edge.right_key)) {
+      auto resolved = e.model.empty() ? engine_->DefaultModel()
+                                      : engine_->Model(e.model);
+      CEJ_RETURN_IF_ERROR(resolved.status());
+      edge.model = *resolved;
+    }
+    edges.push_back(std::move(edge));
+  }
+  plan::NodePtr node = plan::JoinGraph(std::move(inputs), std::move(edges));
+  for (const Step& step : steps_) {
+    if (step.kind != Step::Kind::kSelect) {
+      return Status::InvalidArgument(
+          "QueryGraph: chained .EJoin() is not available on a join-graph "
+          "query — declare every edge in the spec");
+    }
+    if (step.predicate == nullptr) {
+      return Status::InvalidArgument("Select: null predicate");
+    }
+    node = plan::Select(std::move(node), step.predicate);
+  }
+  return node;
+}
+
+Result<plan::NodePtr> QueryBuilder::BuildChainedGraph() const {
+  CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> base,
+                       engine_->Table(table_));
+  plan::NodePtr input0 = plan::Scan(table_, std::move(base));
+  size_t i = 0;
+  for (; i < steps_.size() && steps_[i].kind == Step::Kind::kSelect; ++i) {
+    if (steps_[i].predicate == nullptr) {
+      return Status::InvalidArgument("Select: null predicate");
+    }
+    input0 = plan::Select(std::move(input0), steps_[i].predicate);
+  }
+  CEJ_ASSIGN_OR_RETURN(storage::Schema schema0, plan::OutputSchema(input0));
+  std::vector<plan::NodePtr> inputs;
+  inputs.push_back(std::move(input0));
+  std::vector<std::string> input_tables{table_};
+  std::vector<storage::Schema> schemas;
+  schemas.push_back(std::move(schema0));
+  std::vector<plan::JoinGraphEdge> edges;
+  std::vector<expr::PredicatePtr> trailing;
+  for (; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    if (step.kind == Step::Kind::kSelect) {
+      // Build() routes here only when every Select sits before the first
+      // or after the last join; these wrap the graph's canonical output.
+      if (step.predicate == nullptr) {
+        return Status::InvalidArgument("Select: null predicate");
+      }
+      trailing.push_back(step.predicate);
+      continue;
+    }
+    CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> right,
+                         engine_->Table(step.right_table));
+    plan::JoinGraphEdge edge;
+    edge.right_input = inputs.size();
+    edge.right_key = step.right_key;
+    edge.condition = step.condition;
+    // Resolve the left endpoint against the tables joined SO FAR:
+    // "table.column" picks its table explicitly; a bare column name must
+    // be unambiguous across them.
+    const auto dot = step.left_key.find('.');
+    if (dot != std::string::npos) {
+      const std::string table = step.left_key.substr(0, dot);
+      const std::string column = step.left_key.substr(dot + 1);
+      size_t matches = 0;
+      for (size_t j = 0; j < input_tables.size(); ++j) {
+        if (input_tables[j] == table) {
+          edge.left_input = j;
+          ++matches;
+        }
+      }
+      if (matches == 0) {
+        return Status::InvalidArgument(
+            "EJoin: left key '" + step.left_key + "' names table '" + table +
+            "', which is not part of this chain");
+      }
+      if (matches > 1) {
+        return Status::InvalidArgument(
+            "EJoin: table '" + table +
+            "' appears more than once in this chain; left key '" +
+            step.left_key + "' is ambiguous");
+      }
+      CEJ_RETURN_IF_ERROR(
+          schemas[edge.left_input].FieldIndex(column).status());
+      edge.left_key = column;
+    } else {
+      std::vector<size_t> matches;
+      for (size_t j = 0; j < schemas.size(); ++j) {
+        if (schemas[j].FieldIndex(step.left_key).ok()) matches.push_back(j);
+      }
+      if (matches.empty()) {
+        return Status::InvalidArgument(
+            "EJoin: left key '" + step.left_key +
+            "' not found in any table joined so far; chained joins "
+            "reference base-table columns (qualify as \"table.column\")");
+      }
+      if (matches.size() > 1) {
+        std::string candidates;
+        for (size_t j : matches) {
+          if (!candidates.empty()) candidates += ", ";
+          candidates += input_tables[j] + "." + step.left_key;
+        }
+        return Status::InvalidArgument(
+            "EJoin: left key '" + step.left_key +
+            "' is ambiguous in this chain (" + candidates +
+            "); qualify it as \"table.column\"");
+      }
+      edge.left_input = matches[0];
+      edge.left_key = step.left_key;
+    }
+    // String-string edges need a model; a missing/mismatched key column
+    // is reported by the schema check in Build(), not as a missing model.
+    auto left_field = schemas[edge.left_input].FieldIndex(edge.left_key);
+    auto right_field = right->schema().FieldIndex(edge.right_key);
+    const bool left_string =
+        left_field.ok() && schemas[edge.left_input].field(*left_field).type ==
+                               storage::DataType::kString;
+    const bool right_string =
+        right_field.ok() && right->schema().field(*right_field).type ==
+                                storage::DataType::kString;
+    if (left_string && right_string) {
+      auto resolved = step.model.empty() ? engine_->DefaultModel()
+                                         : engine_->Model(step.model);
+      CEJ_RETURN_IF_ERROR(resolved.status());
+      edge.model = *resolved;
+    }
+    schemas.push_back(right->schema());
+    input_tables.push_back(step.right_table);
+    inputs.push_back(plan::Scan(step.right_table, std::move(right)));
+    edges.push_back(std::move(edge));
+  }
+  plan::NodePtr node = plan::JoinGraph(std::move(inputs), std::move(edges));
+  for (const expr::PredicatePtr& predicate : trailing) {
+    node = plan::Select(std::move(node), predicate);
+  }
+  return node;
+}
+
 Result<plan::NodePtr> QueryBuilder::Build() const {
+  if (has_graph_spec_) {
+    CEJ_ASSIGN_OR_RETURN(plan::NodePtr node, BuildFromGraphSpec());
+    // Surface malformed graphs (unknown columns, type mismatches, cyclic
+    // or disconnected shapes) now.
+    CEJ_RETURN_IF_ERROR(plan::OutputSchema(node).status());
+    return node;
+  }
+  // Two or more EJoin steps build a join GRAPH (the enumerator owns the
+  // order) — provided every Select sits before the first join (pushed into
+  // input 0) or after the last (wrapping the canonical output). A Select
+  // BETWEEN joins pins the intermediate it filters, so such chains keep
+  // the legacy left-deep binary lowering below.
+  size_t joins = 0;
+  size_t first_join = steps_.size();
+  size_t last_join = 0;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].kind == Step::Kind::kEJoin) {
+      ++joins;
+      first_join = std::min(first_join, i);
+      last_join = i;
+    }
+  }
+  bool mid_select = false;
+  if (joins >= 2) {
+    for (size_t i = first_join + 1; i < last_join; ++i) {
+      if (steps_[i].kind == Step::Kind::kSelect) mid_select = true;
+    }
+  }
+  if (joins >= 2 && !mid_select) {
+    CEJ_ASSIGN_OR_RETURN(plan::NodePtr node, BuildChainedGraph());
+    CEJ_RETURN_IF_ERROR(plan::OutputSchema(node).status());
+    return node;
+  }
   CEJ_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Relation> base,
                        engine_->Table(table_));
   plan::NodePtr node = plan::Scan(table_, std::move(base));
@@ -404,8 +649,30 @@ Result<plan::NodePtr> QueryBuilder::OptimizedPlan() const {
 Result<std::string> QueryBuilder::Explain() const {
   CEJ_ASSIGN_OR_RETURN(plan::NodePtr naive, Build());
   std::string out = "— logical plan —\n" + plan::PlanToString(naive);
+  plan::NodePtr optimized = optimize_ ? plan::Optimize(naive) : naive;
   if (optimize_) {
-    out += "— optimized plan —\n" + plan::PlanToString(plan::Optimize(naive));
+    out += "— optimized plan —\n" + plan::PlanToString(optimized);
+  }
+  // Join-graph plans: run the same enumeration Execute() would (same
+  // calibrated pricing snapshot, pool width, shard count, forced order)
+  // and render the DP memo plus the chosen edge order.
+  {
+    plan::NodePtr graph = optimized;
+    while (graph != nullptr && graph->kind == plan::NodeKind::kSelect) {
+      graph = graph->child;
+    }
+    if (graph != nullptr && graph->kind == plan::NodeKind::kJoinGraph) {
+      plan::ExecContext context = engine_->MakeExecContext();
+      plan::JoinOrderOptions order_options;
+      order_options.cost_params = context.cost_params;
+      order_options.registry = context.operators;
+      order_options.pool_threads =
+          context.pool != nullptr ? context.pool->num_threads() + 1 : 1;
+      order_options.shard_count = context.shard_count;
+      order_options.force_edge_order = force_join_order_;
+      auto order = plan::EnumerateJoinOrder(graph, std::move(order_options));
+      if (order.ok()) out += plan::MemoToString(graph, *order);
+    }
   }
   // Index-catalog availability per join key: the other half of the
   // scan-vs-probe story (ExecStats carries the counters after a run;
@@ -519,6 +786,7 @@ Result<QueryResult> QueryBuilder::Execute() const {
   plan::ExecContext context = engine_->MakeExecContext();
   context.force_operator = force_operator_;
   context.require_exact = require_exact_;
+  context.force_join_order = force_join_order_;
   QueryResult result;
   CEJ_ASSIGN_OR_RETURN(result.relation,
                        plan::Execute(plan, context, &result.stats));
@@ -531,6 +799,7 @@ Result<join::JoinStats> QueryBuilder::Stream(join::JoinSink* sink,
   plan::ExecContext context = engine_->MakeExecContext();
   context.force_operator = force_operator_;
   context.require_exact = require_exact_;
+  context.force_join_order = force_join_order_;
   return plan::ExecuteToSink(plan, context, sink, stats);
 }
 

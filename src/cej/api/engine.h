@@ -56,6 +56,34 @@ struct QueryResult {
   plan::ExecStats stats;
 };
 
+/// Explicit join-graph form of a multi-relation query
+/// (Engine::QueryGraph): n registered tables connected by similarity
+/// edges, with NO join order — the executor's DP enumerator picks one.
+/// Edge endpoints are "table.column" strings naming entries of `tables`.
+///
+///   cej::JoinGraphSpec spec;
+///   spec.tables = {"photos", "labels", "products"};
+///   spec.edges = {
+///       {"photos.tag", "labels.name", join::JoinCondition::Threshold(0.8f)},
+///       {"labels.name", "products.title",
+///        join::JoinCondition::Threshold(0.8f)},
+///   };
+///   auto result = engine.QueryGraph(spec).Execute();
+struct JoinGraphSpec {
+  struct Edge {
+    std::string left;   ///< "table.column" endpoint.
+    std::string right;  ///< "table.column" endpoint.
+    join::JoinCondition condition;
+    /// Embedding model for string-string edges ("" = engine default);
+    /// ignored for vector keys.
+    std::string model;
+  };
+  /// Registered table names (each may appear once; the canonical output
+  /// schema lists their fields in this order).
+  std::vector<std::string> tables;
+  std::vector<Edge> edges;
+};
+
 /// The top-level entry point. Thread-safe: catalog registration (tables,
 /// models, indexes) and queries may run concurrently — queries pin the
 /// table and index state they planned against via shared_ptr snapshots,
@@ -203,7 +231,17 @@ class Engine {
 
   /// Starts a fluent query over a registered table. Errors (unknown
   /// table/model, malformed chains) surface at Execute()/Stream() time.
+  /// Chaining two or more .EJoin() calls builds a join GRAPH: the
+  /// executor's DP enumerator owns the join order, intermediate results
+  /// carry their embedding columns zero-copy, and the output schema is
+  /// canonical (independent of the executed order).
   QueryBuilder Query(std::string table) const;
+
+  /// Starts a query from an explicit join-graph spec (see JoinGraphSpec).
+  /// The returned builder accepts Select (applied over the canonical
+  /// graph output; pushed down when legal), Via, RequireExact, Stream and
+  /// friends — but not further .EJoin() calls (declare edges in the spec).
+  QueryBuilder QueryGraph(JoinGraphSpec spec) const;
 
   // --- Serving -----------------------------------------------------------
 
@@ -328,6 +366,15 @@ class QueryBuilder {
   /// Skips plan::Optimize — the Figure 8 naive baseline.
   QueryBuilder& WithoutOptimizer();
 
+  /// Join-order override for multi-join (graph) queries: executes the
+  /// graph's edges in exactly this order — a permutation of the edge
+  /// submission indexes (chained .EJoin() calls number their edges 0, 1,
+  /// ... in call order; QueryGraph numbers JoinGraphSpec::edges) — instead
+  /// of letting the DP enumerator choose. Results are identical either
+  /// way (the output schema is canonical); only the work differs. A test
+  /// and experiment hook. Ignored by single-join queries.
+  QueryBuilder& ForceJoinOrder(std::vector<size_t> order);
+
   /// The logical plan before / after optimization.
   Result<plan::NodePtr> Build() const;
   Result<plan::NodePtr> OptimizedPlan() const;
@@ -366,12 +413,26 @@ class QueryBuilder {
 
   QueryBuilder(const Engine* engine, std::string table)
       : engine_(engine), table_(std::move(table)) {}
+  QueryBuilder(const Engine* engine, JoinGraphSpec spec)
+      : engine_(engine), graph_spec_(std::move(spec)), has_graph_spec_(true) {}
+
+  /// Build() for Engine::QueryGraph builders: the spec's tables/edges
+  /// become a kJoinGraph node; Select steps wrap the canonical output.
+  Result<plan::NodePtr> BuildFromGraphSpec() const;
+
+  /// Build() for chained multi-join builders (>= 2 EJoin steps, Selects
+  /// only before the first or after the last): steps become a kJoinGraph
+  /// with one input per table and one edge per EJoin call.
+  Result<plan::NodePtr> BuildChainedGraph() const;
 
   const Engine* engine_;
   std::string table_;
   std::vector<Step> steps_;
+  JoinGraphSpec graph_spec_;    // Set by Engine::QueryGraph.
+  bool has_graph_spec_ = false;
   std::string pending_model_;   // Set by UsingModel for the next joins.
   std::string force_operator_;  // Set by Via.
+  std::vector<size_t> force_join_order_;  // Set by ForceJoinOrder.
   bool optimize_ = true;
   bool require_exact_ = false;
 };

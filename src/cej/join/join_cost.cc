@@ -188,6 +188,13 @@ CostFeatures FeaturesForOperator(std::string_view op_name,
     return f;
   }
 
+  // Intermediate (chained-join) inputs pay one extra per-row access for
+  // the materialization gather that produced them — linear terms, but
+  // order-sensitive: the join-order DP sees that stacking joins onto a
+  // wide intermediate is not free.
+  if (w.left_intermediate) f.fixed += m * p.access;
+  if (w.right_intermediate) f.fixed += filtered * p.access;
+
   // Fused serving batches demultiplex every emitted pair back to its
   // member query by a log2(Q) slice search (plan::ExecuteToDemuxSinks).
   // Only top-k has a plan-time pair count; threshold match counts are

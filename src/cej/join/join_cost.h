@@ -141,6 +141,13 @@ struct JoinWorkload {
   /// pipelined operators overlap embedding with the sweep. Operators that
   /// need that fusion price themselves infinite when it is unavailable.
   bool right_strings_streamable = false;
+  /// The side is a materialized intermediate join result (a chained
+  /// multi-join pipeline), not a base relation: its carried columns are
+  /// gathered row-by-row when it was built, so the join pays one extra
+  /// per-row access on that side. Keeps wide intermediates from pricing
+  /// identically to base-table scans in the join-order DP.
+  bool left_intermediate = false;
+  bool right_intermediate = false;
   /// Worker threads the executor will hand the operator, counting the
   /// calling thread (a caller-runs pool of T workers supplies T + 1;
   /// 1 = no pool). Partition-parallel operators price their speedup with

@@ -9,6 +9,7 @@
 #include "cej/api/embedding_cache.h"
 #include "cej/common/macros.h"
 #include "cej/common/timer.h"
+#include "cej/plan/join_order.h"
 #include "cej/stats/cost_calibrator.h"
 
 namespace cej::plan {
@@ -150,6 +151,27 @@ class DemuxSink : public join::JoinSink {
   std::atomic<size_t> live_;
 };
 
+// Pass-through sink counting the pairs a graph-lowered join emits — the
+// per-edge OBSERVED cardinality. Atomic because sharded operators feed one
+// sink from several workers.
+class EdgeCountingSink : public join::JoinSink {
+ public:
+  explicit EdgeCountingSink(join::JoinSink* inner) : inner_(inner) {}
+
+  bool Consume(const join::JoinPair* pairs, size_t count) override {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    return inner_->Consume(pairs, count);
+  }
+
+  void Finish() override { inner_->Finish(); }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  join::JoinSink* inner_;
+  std::atomic<uint64_t> count_{0};
+};
+
 class PlanExecutor {
  public:
   PlanExecutor(const ExecContext& context, ExecStats* stats,
@@ -175,15 +197,24 @@ class PlanExecutor {
         return RunEmbed(node);
       case NodeKind::kEJoin:
         return RunEJoin(node);
+      case NodeKind::kJoinGraph:
+        return RunJoinGraph(node);
     }
     return Status::Internal("unreachable");
   }
 
-  // Streaming entry point: the final join feeds `sink` directly.
+  // Streaming entry point: the final join feeds `sink` directly. A
+  // JoinGraph root lowers to its chosen order first; the stream carries
+  // the LAST executed edge's pairs.
   Result<JoinStats> RunToSink(const NodePtr& node, join::JoinSink* sink) {
+    if (node->kind == NodeKind::kJoinGraph) {
+      CEJ_ASSIGN_OR_RETURN(JoinOrderPlan plan, EnumerateGraph(node));
+      return RunEJoinIntoSink(plan.root, sink, /*materialize_sides=*/false,
+                              /*sides=*/nullptr);
+    }
     if (node->kind != NodeKind::kEJoin) {
       return Status::InvalidArgument(
-          "ExecuteToSink: plan root must be an EJoin");
+          "ExecuteToSink: plan root must be an EJoin or a JoinGraph");
     }
     return RunEJoinIntoSink(node, sink, /*materialize_sides=*/false,
                             /*sides=*/nullptr);
@@ -266,20 +297,34 @@ class PlanExecutor {
 
   Result<Relation> RunEmbed(const NodePtr& node) {
     const LogicalNode* below = node->child.get();
+    // Stacked hoisted embeddings (the graph lowering emits Embed over
+    // Embed over [Select(]Scan[)] for an input with several string join
+    // keys) only append columns — the rows are still the base table's, so
+    // every level of the stack keys the cache by the scan underneath.
+    const LogicalNode* base = below;
+    while (base->kind == NodeKind::kEmbed) base = base->child.get();
     // Full base table: the cacheable shape.
-    if (below->kind == NodeKind::kScan) {
-      return ApplyEmbed(*below->relation, *node, below->table_name, nullptr);
+    if (base->kind == NodeKind::kScan) {
+      if (below->kind == NodeKind::kScan) {
+        return ApplyEmbed(*base->relation, *node, base->table_name, nullptr);
+      }
+      CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+      return ApplyEmbed(input, *node, base->table_name, nullptr);
     }
     // Filtered base table: evaluate the predicate once, then embed only
     // the survivors (or gather them from a cached full-table matrix).
-    if (below->kind == NodeKind::kSelect &&
-        below->child->kind == NodeKind::kScan) {
-      const LogicalNode* scan = below->child.get();
+    if (base->kind == NodeKind::kSelect &&
+        base->child->kind == NodeKind::kScan) {
+      const LogicalNode* scan = base->child.get();
       CEJ_ASSIGN_OR_RETURN(
           std::vector<uint32_t> rows,
-          expr::Filter(*scan->relation, below->predicate));
-      const Relation filtered = scan->relation->Take(rows);
-      return ApplyEmbed(filtered, *node, scan->table_name, &rows);
+          expr::Filter(*scan->relation, base->predicate));
+      if (below == base) {
+        const Relation filtered = scan->relation->Take(rows);
+        return ApplyEmbed(filtered, *node, scan->table_name, &rows);
+      }
+      CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
+      return ApplyEmbed(input, *node, scan->table_name, &rows);
     }
     // Arbitrary subtree: embed whatever it produced, uncached.
     CEJ_ASSIGN_OR_RETURN(Relation input, Run(node->child));
@@ -297,6 +342,50 @@ class PlanExecutor {
                                  sink.pairs());
   }
 
+  // Orders the graph's edges (DP unless forced/pinned), publishes the
+  // decision into ExecStats, and returns the lowered binary tree.
+  Result<JoinOrderPlan> EnumerateGraph(const NodePtr& node) {
+    JoinOrderOptions options;
+    options.cost_params = context_.cost_params;
+    options.registry = &registry_;
+    options.pool_threads =
+        context_.pool != nullptr
+            ? static_cast<size_t>(context_.pool->num_threads()) + 1
+            : 1;
+    options.shard_count = context_.shard_count;
+    options.force_edge_order = context_.force_join_order;
+    CEJ_ASSIGN_OR_RETURN(JoinOrderPlan plan,
+                         EnumerateJoinOrder(node, std::move(options)));
+    if (stats_ != nullptr) {
+      stats_->join_edge_order = plan.edge_order;
+      switch (plan.source) {
+        case JoinOrderSource::kDp:
+          stats_->join_order_source = "dp";
+          break;
+        case JoinOrderSource::kForced:
+          stats_->join_order_source = "forced";
+          break;
+        case JoinOrderSource::kSubmission:
+          stats_->join_order_source = "submission";
+          break;
+      }
+      stats_->edge_card_est = plan.edge_est_rows;
+      stats_->edge_card_obs.assign(plan.edge_est_rows.size(), 0);
+    }
+    return plan;
+  }
+
+  // Chained execution: run the lowered tree, then project its output back
+  // onto the graph's canonical schema (zero-copy — the intermediate
+  // relations already share their columns, embedding columns included).
+  Result<Relation> RunJoinGraph(const NodePtr& node) {
+    CEJ_ASSIGN_OR_RETURN(Schema canonical, OutputSchema(node));
+    CEJ_ASSIGN_OR_RETURN(JoinOrderPlan plan, EnumerateGraph(node));
+    CEJ_ASSIGN_OR_RETURN(Relation executed, Run(plan.root));
+    return executed.Project(std::move(canonical),
+                            plan.canonical_projection);
+  }
+
   // Selects the physical operator via the registry, runs the join into
   // `sink`, and (optionally) materializes both input-side relations for
   // output assembly.
@@ -308,12 +397,20 @@ class PlanExecutor {
     CEJ_ASSIGN_OR_RETURN(const Column* left_key,
                          left.ColumnByName(node->left_key));
 
+    // Graph-lowered joins count their emitted pairs: the edge's observed
+    // cardinality, recorded against the enumerator's estimate.
+    EdgeCountingSink counting(sink);
+    EdgeCountingSink* edge_counter =
+        node->graph_edge >= 0 ? &counting : nullptr;
+    join::JoinSink* effective_sink =
+        edge_counter != nullptr ? &counting : sink;
+
     Result<JoinStats> run =
         left_key->type() == DataType::kString
-            ? RunStringKeyJoin(node, *left_key, sink, materialize_sides,
-                               sides)
-            : RunVectorKeyJoin(node, left, *left_key, sink,
-                               materialize_sides, sides);
+            ? RunStringKeyJoin(node, *left_key, effective_sink,
+                               materialize_sides, sides, edge_counter)
+            : RunVectorKeyJoin(node, left, *left_key, effective_sink,
+                               materialize_sides, sides, edge_counter);
     if (run.ok()) {
       if (materialize_sides) sides->left = std::move(left);
       if (stats_ != nullptr) {
@@ -321,6 +418,15 @@ class PlanExecutor {
         stats_->join_stats += *run;
         // Mirror of the merged operator counter (single source of truth).
         stats_->index_probe_rows = stats_->join_stats.index_probe_rows;
+        if (edge_counter != nullptr) {
+          const size_t edge = static_cast<size_t>(node->graph_edge);
+          if (stats_->edge_card_est.size() <= edge) {
+            stats_->edge_card_est.resize(edge + 1, 0.0);
+            stats_->edge_card_obs.resize(edge + 1, 0);
+          }
+          stats_->edge_card_est[edge] = node->estimated_rows;
+          stats_->edge_card_obs[edge] = edge_counter->count();
+        }
       }
     }
     return run;
@@ -337,7 +443,8 @@ class PlanExecutor {
                                      const Column& left_key,
                                      join::JoinSink* sink,
                                      bool materialize_sides,
-                                     JoinedSides* sides) {
+                                     JoinedSides* sides,
+                                     const EdgeCountingSink* edge_counter) {
     CEJ_ASSIGN_OR_RETURN(Relation right, Run(node->right));
     CEJ_ASSIGN_OR_RETURN(const Column* right_key,
                          right.ColumnByName(node->right_key));
@@ -379,7 +486,8 @@ class PlanExecutor {
                                              BaseOptions(), sink));
       RecordJoinObservation(
           selection.op, workload, selection,
-          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats,
+          *node, edge_counter);
       if (materialize_sides) sides->right = std::move(right);
       return run_stats;
     }
@@ -402,7 +510,8 @@ class PlanExecutor {
                                      const Column& left_key,
                                      join::JoinSink* sink,
                                      bool materialize_sides,
-                                     JoinedSides* sides) {
+                                     JoinedSides* sides,
+                                     const EdgeCountingSink* edge_counter) {
     if (left_key.type() != DataType::kVector) {
       return Status::InvalidArgument("EJoin: left key is not a vector");
     }
@@ -529,8 +638,15 @@ class PlanExecutor {
     workload.index_exact =
         catalog_entry != nullptr &&
         catalog_entry->family == index::IndexFamily::kFlat;
-    workload.left_embed_cached = left_embed_cached;
-    workload.right_embed_cached = right_embed_cached;
+    // Chained (graph-lowered) joins: an intermediate side carries its
+    // embedding column zero-copy from the join that built it — no model
+    // term — but its materialization gather was not free.
+    workload.left_intermediate = node->left->kind == NodeKind::kEJoin;
+    workload.right_intermediate = node->right->kind == NodeKind::kEJoin;
+    workload.left_embed_cached =
+        left_embed_cached || workload.left_intermediate;
+    workload.right_embed_cached =
+        right_embed_cached || workload.right_intermediate;
     workload.right_strings_streamable = fusion_candidate;
     // Caller-runs pool: the calling thread works alongside the workers.
     workload.pool_threads =
@@ -614,7 +730,8 @@ class PlanExecutor {
       observed.right_embed_cached = true;
       RecordJoinObservation(
           op, observed, selection,
-          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats,
+          *node, edge_counter);
       // Probe ids address base-table rows; materialize the right side as
       // base relation (+ embedding column for rewritten plans) so the
       // output schema matches the scan path's.
@@ -654,7 +771,8 @@ class PlanExecutor {
       // Fused: the operator embedded the right side inside the run.
       RecordJoinObservation(
           op, observed, selection,
-          run_stats.embed_seconds + run_stats.join_seconds, run_stats);
+          run_stats.embed_seconds + run_stats.join_seconds, run_stats,
+          *node, edge_counter);
       return run_stats;
     }
 
@@ -699,7 +817,7 @@ class PlanExecutor {
     RecordJoinObservation(op, observed, selection,
                           right_prep_seconds + run_stats.embed_seconds +
                               run_stats.join_seconds,
-                          run_stats);
+                          run_stats, *node, edge_counter);
     if (materialize_sides) sides->right = std::move(right);
     return run_stats;
   }
@@ -860,7 +978,9 @@ class PlanExecutor {
                              const join::JoinWorkload& workload,
                              const Selection& selection,
                              double measured_seconds,
-                             const JoinStats& run_stats) {
+                             const JoinStats& run_stats,
+                             const LogicalNode& node,
+                             const EdgeCountingSink* edge_counter) {
     const double measured_ns = measured_seconds * 1e9;
     const double estimated_ns =
         op->EstimateCost(workload, context_.cost_params);
@@ -921,6 +1041,16 @@ class PlanExecutor {
     obs.fused_queries = workload.fused_queries;
     obs.embed_overlapped_ns = run_stats.embed_overlapped_seconds * 1e9;
     obs.join_phase_ns = run_stats.join_seconds * 1e9;
+    // Graph-lowered joins: one observation per EDGE, carrying the
+    // estimated-vs-observed cardinality pair for the learned-cardinality
+    // feed. The counter reads complete here — the operator's Run has
+    // already returned when observations are recorded.
+    obs.graph_edge = node.graph_edge;
+    if (node.graph_edge >= 0) {
+      obs.edge_card_est = node.estimated_rows;
+      obs.edge_card_obs =
+          edge_counter != nullptr ? edge_counter->count() : 0;
+    }
     context_.calibrator->Record(std::move(obs));
   }
 

@@ -101,6 +101,10 @@ struct ExecContext {
   /// Access-path override for experiments: kScan/kProbe forced when set.
   bool force_scan = false;
   bool force_probe = false;
+  /// Join-graph order override (test hook): executes a kJoinGraph's edges
+  /// in exactly this order (a permutation of the edge submission indexes)
+  /// instead of letting the JoinOrderEnumerator choose. Empty = enumerate.
+  std::vector<size_t> force_join_order;
 };
 
 /// Post-execution diagnostics.
@@ -155,22 +159,38 @@ struct ExecStats {
   /// Client queries the serving layer stacked into this plan's probe batch
   /// (ExecuteToDemuxSinks; 1 = an ordinary solo plan).
   size_t fused_queries = 1;
+  /// Join-graph diagnostics (empty outside kJoinGraph plans): the edge
+  /// submission indexes in the order they executed (bottom-up) and how
+  /// that order was chosen ("dp", "forced", or "submission").
+  std::vector<size_t> join_edge_order;
+  std::string join_order_source;
+  /// Per-edge estimated vs observed output cardinalities, indexed by edge
+  /// submission index — the feed for the learned-cardinality direction.
+  /// Also populated for hand-built binary trees lowered from a graph
+  /// (nodes tagged with graph_edge >= 0).
+  std::vector<double> edge_card_est;
+  std::vector<uint64_t> edge_card_obs;
   /// Merged operator counters across every join in the plan.
   join::JoinStats join_stats;
 };
 
 /// Executes `plan`, returning the materialized result relation.
 /// EJoin output rows: all left fields, all right fields (collisions
-/// prefixed "right_"), plus "similarity".
+/// prefixed "right_"), plus "similarity". A kJoinGraph root executes in
+/// the enumerator's chosen order and is projected back onto the graph's
+/// CANONICAL OutputSchema, so its result is independent of that order.
 Result<storage::Relation> Execute(const NodePtr& plan,
                                   const ExecContext& context,
                                   ExecStats* stats = nullptr);
 
-/// Streaming execution: `plan`'s root must be an EJoin. Subtrees
-/// materialize as usual, but the final join's matched pairs stream into
-/// `sink` (chunked, unordered, honouring early termination) instead of
-/// being materialized into a relation. Pair ids address the rows of the
-/// join's input relations.
+/// Streaming execution: `plan`'s root must be an EJoin or a JoinGraph.
+/// Subtrees materialize as usual, but the final join's matched pairs
+/// stream into `sink` (chunked, unordered, honouring early termination)
+/// instead of being materialized into a relation. Pair ids address the
+/// rows of the final join's input relations — for a JoinGraph root those
+/// are the inputs of the LAST edge in the chosen order (see
+/// ExecStats::join_edge_order), so id-sensitive callers should force or
+/// pin the order.
 Result<join::JoinStats> ExecuteToSink(const NodePtr& plan,
                                       const ExecContext& context,
                                       join::JoinSink* sink,

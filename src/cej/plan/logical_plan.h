@@ -12,12 +12,19 @@
 //   R ⋈_{E,mu,theta} S  <=>  E_mu(R) ⋈_theta E_mu(S)
 // to hoist the embedding out of the operator, and SelectionPushdown moves
 // relational predicates below the (expensive) Embed.
+//
+// Multi-relation pipelines are a first-class JoinGraph node: n input
+// subtrees connected by similarity edges, with NO join order in the
+// logical plan — the executor's JoinOrderEnumerator (plan/join_order.h)
+// picks the order at execution time by dynamic programming over connected
+// relation subsets, priced with the calibrated cost parameters.
 
 #ifndef CEJ_PLAN_LOGICAL_PLAN_H_
 #define CEJ_PLAN_LOGICAL_PLAN_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cej/common/status.h"
 #include "cej/expr/predicate.h"
@@ -28,10 +35,22 @@
 namespace cej::plan {
 
 /// Logical operator kinds.
-enum class NodeKind { kScan, kSelect, kEmbed, kEJoin };
+enum class NodeKind { kScan, kSelect, kEmbed, kEJoin, kJoinGraph };
 
 struct LogicalNode;
 using NodePtr = std::shared_ptr<const LogicalNode>;
+
+/// One similarity edge of a JoinGraph: a condition between a key column of
+/// `inputs[left_input]` and a key column of `inputs[right_input]`. String
+/// key pairs carry the embedding model; vector key pairs leave it null.
+struct JoinGraphEdge {
+  size_t left_input = 0;
+  size_t right_input = 0;
+  std::string left_key;
+  std::string right_key;
+  join::JoinCondition condition;
+  const model::EmbeddingModel* model = nullptr;  // Not owned.
+};
 
 /// One logical operator. Immutable; rewrites build new trees.
 struct LogicalNode {
@@ -56,6 +75,25 @@ struct LogicalNode {
   std::string right_key;
   join::JoinCondition condition;
 
+  // kEJoin nodes lowered from a JoinGraph edge: the edge's submission
+  // index (for per-edge ExecStats / Observation attribution) and the
+  // enumerator's cardinality estimate for this join's output. -1 / 0 on
+  // hand-built binary joins.
+  int graph_edge = -1;
+  double estimated_rows = 0.0;
+
+  // kJoinGraph: n-ary join — `inputs` are the relation subtrees, `edges`
+  // the similarity conditions connecting them. The graph must be
+  // connected and acyclic (a join *tree* over relations; closing edges
+  // would need multi-condition / worst-case-optimal joins). The rewrite
+  // pipeline sets `hoist_embeddings`, the graph-level E-theta-Join
+  // equivalence: string edge keys are embedded once per *leaf* at
+  // lowering time, and intermediate results carry the embedding columns
+  // zero-copy, so no edge re-embeds what an earlier join produced.
+  std::vector<NodePtr> inputs;
+  std::vector<JoinGraphEdge> edges;
+  bool hoist_embeddings = false;
+
   // Children.
   NodePtr child;  // kSelect, kEmbed
   NodePtr left;   // kEJoin
@@ -79,10 +117,49 @@ NodePtr EJoin(NodePtr left, NodePtr right, std::string left_key,
               std::string right_key, const model::EmbeddingModel* model,
               join::JoinCondition condition);
 
+/// EJoin lowered from a JoinGraph edge: tags the node with the edge's
+/// submission index and the enumerator's output-cardinality estimate so
+/// the executor can record per-edge estimated-vs-observed rows.
+NodePtr GraphEJoin(NodePtr left, NodePtr right, std::string left_key,
+                   std::string right_key, const model::EmbeddingModel* model,
+                   join::JoinCondition condition, int graph_edge,
+                   double estimated_rows);
+
+/// n-ary join graph over `inputs` connected by `edges` (order-free; see
+/// LogicalNode::inputs). Structural validation happens in OutputSchema.
+NodePtr JoinGraph(std::vector<NodePtr> inputs,
+                  std::vector<JoinGraphEdge> edges);
+
 /// The output schema a node produces, or an error for ill-formed plans.
-/// EJoin output: left fields, right fields (renamed `right_<name>` on
-/// collision), then a double field "similarity".
+///
+/// EJoin output: left fields, right fields, then a double "similarity".
+/// A right field colliding with an earlier name is renamed
+/// "right_<name>"; further collisions count up deterministically
+/// ("right2_<name>", "right3_<name>", ...), never stack prefixes. Extra
+/// similarity columns become "similarity2", "similarity3", ....
+///
+/// JoinGraph output is CANONICAL — i.e. independent of the join order the
+/// enumerator picks: input 0's fields, then input 1's (disambiguated as
+/// above), ..., with each input's hoisted "<key>_emb" columns appended
+/// after its fields when hoist_embeddings is set, and one similarity
+/// column per edge (submission order) at the end.
 Result<storage::Schema> OutputSchema(const NodePtr& node);
+
+/// One hoisted embedding a JoinGraph leaf pays: the string key column and
+/// the model embedding it.
+struct JoinGraphHoistKey {
+  std::string key;
+  const model::EmbeddingModel* model = nullptr;
+};
+
+/// The string join keys the hoisting lowering embeds per input — one entry
+/// per input, deduplicated, in (edge-submission, left-endpoint-first)
+/// order. The canonical schema and the enumerator's lowering both derive
+/// their embedding-column layout from this ONE function, so the executor's
+/// positional projection back to the canonical schema cannot drift.
+/// `graph` must be a kJoinGraph node with valid inputs/edges.
+Result<std::vector<std::vector<JoinGraphHoistKey>>> HoistKeysPerInput(
+    const LogicalNode& graph);
 
 /// Multi-line plan rendering for EXPLAIN-style debugging.
 std::string PlanToString(const NodePtr& node);

@@ -19,6 +19,25 @@ bool PredicateFitsBelowEmbed(const expr::PredicatePtr& predicate,
   return predicate->Validate(*schema).ok();
 }
 
+// A predicate may move below a JoinGraph into input 0 when it is
+// well-typed against that input alone (input 0's fields keep their names
+// in the canonical graph schema, so validation identifies ownership) and
+// input 0 never sits on the probe side of a top-k edge — pre-filtering
+// the probe side would change which k rows win.
+bool PredicateFitsGraphInputZero(const expr::PredicatePtr& predicate,
+                                 const NodePtr& graph) {
+  if (graph->inputs.empty()) return false;
+  for (const JoinGraphEdge& e : graph->edges) {
+    if (e.condition.kind == join::JoinCondition::Kind::kTopK &&
+        e.right_input == 0) {
+      return false;
+    }
+  }
+  auto schema = OutputSchema(graph->inputs[0]);
+  if (!schema.ok()) return false;
+  return predicate->Validate(*schema).ok();
+}
+
 }  // namespace
 
 NodePtr ApplySelectionPushdown(const NodePtr& node) {
@@ -36,6 +55,15 @@ NodePtr ApplySelectionPushdown(const NodePtr& node) {
         new_embed->child = ApplySelectionPushdown(
             Select(child->child, node->predicate));
         return new_embed;
+      }
+      if (child->kind == NodeKind::kJoinGraph &&
+          PredicateFitsGraphInputZero(node->predicate, child)) {
+        // Select(JoinGraph(in0, ...)) => JoinGraph(Select(in0), ...): the
+        // filtered input pays less join work AND fewer hoisted embeddings.
+        auto new_graph = ShallowCopy(*child);
+        new_graph->inputs[0] = ApplySelectionPushdown(
+            Select(child->inputs[0], node->predicate));
+        return new_graph;
       }
       if (child == node->child) return node;
       auto copy = ShallowCopy(*node);
@@ -56,6 +84,19 @@ NodePtr ApplySelectionPushdown(const NodePtr& node) {
       auto copy = ShallowCopy(*node);
       copy->left = std::move(left);
       copy->right = std::move(right);
+      return copy;
+    }
+    case NodeKind::kJoinGraph: {
+      bool changed = false;
+      std::vector<NodePtr> inputs;
+      inputs.reserve(node->inputs.size());
+      for (const NodePtr& input : node->inputs) {
+        inputs.push_back(ApplySelectionPushdown(input));
+        changed |= inputs.back() != input;
+      }
+      if (!changed) return node;
+      auto copy = ShallowCopy(*node);
+      copy->inputs = std::move(inputs);
       return copy;
     }
   }
@@ -106,6 +147,26 @@ NodePtr ApplyPrefetchEmbeddings(const NodePtr& node) {
       copy->left_key = left_vec;
       copy->right_key = right_vec;
       copy->model = nullptr;  // The operator no longer embeds.
+      return copy;
+    }
+    case NodeKind::kJoinGraph: {
+      // The graph-level E-theta-Join equivalence: mark the graph for
+      // embedding hoisting — the JoinOrderEnumerator's lowering embeds
+      // every string edge key ONCE at its leaf (HoistKeysPerInput) and
+      // intermediate results carry the embedding columns zero-copy, so no
+      // edge re-embeds what an earlier join produced. The rewrite cannot
+      // place the Embeds itself because their position depends on the
+      // join order chosen at execution time.
+      auto copy = ShallowCopy(*node);
+      copy->hoist_embeddings = true;
+      bool changed = !node->hoist_embeddings;
+      copy->inputs.clear();
+      copy->inputs.reserve(node->inputs.size());
+      for (const NodePtr& input : node->inputs) {
+        copy->inputs.push_back(ApplyPrefetchEmbeddings(input));
+        changed |= copy->inputs.back() != input;
+      }
+      if (!changed) return node;
       return copy;
     }
   }

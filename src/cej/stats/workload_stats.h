@@ -63,6 +63,15 @@ struct Observation {
   /// inputs.
   double embed_overlapped_ns = 0.0;
   double join_phase_ns = 0.0;
+  /// Join-graph edge this join executed (submission index; -1 = a plain
+  /// binary query outside a graph). Multi-join pipelines record one
+  /// Observation per edge.
+  int graph_edge = -1;
+  /// The enumerator's output-cardinality estimate for the edge and the
+  /// rows the edge actually produced — the feed for the learned-
+  /// cardinality (AQO-style) direction. 0 / 0 outside a graph.
+  double edge_card_est = 0.0;
+  uint64_t edge_card_obs = 0;
   /// Monotonic record number, assigned by WorkloadStats::Record.
   uint64_t sequence = 0;
 };

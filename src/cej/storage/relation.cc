@@ -71,6 +71,37 @@ Result<Relation> Relation::WithColumn(Field field, Column column) const {
   return out;
 }
 
+Result<Relation> Relation::Project(Schema schema,
+                                   const std::vector<size_t>& columns) const {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument(
+        "relation: projection selects " + std::to_string(columns.size()) +
+        " columns but the target schema has " +
+        std::to_string(schema.num_fields()) + " fields");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] >= columns_.size()) {
+      return Status::OutOfRange("relation: projection column index " +
+                                std::to_string(columns[i]) +
+                                " out of range");
+    }
+    const Field& f = schema.field(i);
+    const Column& c = *columns_[columns[i]];
+    if (c.type() != f.type ||
+        (f.type == DataType::kVector && c.vector_dim() != f.vector_dim)) {
+      return Status::InvalidArgument(
+          "relation: projected column " + std::to_string(columns[i]) +
+          " does not match target field '" + f.name + "'");
+    }
+  }
+  Relation out;
+  out.schema_ = std::move(schema);
+  out.num_rows_ = num_rows_;
+  out.columns_.reserve(columns.size());
+  for (size_t src : columns) out.columns_.push_back(columns_[src]);
+  return out;
+}
+
 Relation Relation::Take(const std::vector<uint32_t>& rows) const {
   Relation out;
   out.schema_ = schema_;

@@ -39,6 +39,14 @@ class Relation {
   /// appended under `field`. Fails on name clash, length or type mismatch.
   Result<Relation> WithColumn(Field field, Column column) const;
 
+  /// Re-shapes this relation onto `schema`: output column i SHARES (zero
+  /// copy) this relation's column `columns[i]`, renamed to schema's field
+  /// i. Fails when a selected column's type/dim does not match its target
+  /// field. Used by the executor to map an executed join tree's output
+  /// back onto a join graph's canonical schema.
+  Result<Relation> Project(Schema schema,
+                           const std::vector<size_t>& columns) const;
+
  private:
   Schema schema_;
   std::vector<std::shared_ptr<const Column>> columns_;
